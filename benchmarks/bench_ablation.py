@@ -1,0 +1,185 @@
+"""Experiment E-ABL — ablations of this implementation's design knobs.
+
+DESIGN.md calls out three tunables that the thesis leaves open; each gets a
+sweep so downstream users can see the trade-off surface:
+
+* the data-scope **cache stride** (how many design points between cached
+  thread states);
+* the reclaimer's **grace period** (undelete window vs storage held);
+* cluster **speed heterogeneity** at constant total capacity (how uneven
+  workstations stretch a parallel task's makespan).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, table
+from repro.clock import VirtualClock
+from repro.core.control_stream import INITIAL_POINT, ControlStream
+from repro.core.datascope import DataScope
+from repro.core.history import HistoryRecord
+from repro.octdb import DesignDatabase
+from repro.sprite import Cluster, Workstation
+
+
+# ------------------------------------------------------- cache stride sweep
+
+
+def _chain(depth: int) -> tuple[ControlStream, int]:
+    stream = ControlStream()
+    parent = INITIAL_POINT
+    for i in range(depth):
+        record = HistoryRecord(task=f"t{i}", inputs=(),
+                               outputs=(f"o{i}@1",), steps=())
+        parent = stream.append(record, parent)
+    return stream, parent
+
+
+def stride_cost(depth: int, stride: int) -> tuple[int, int]:
+    """(warm query cost, number of cached points) for one stride setting."""
+    stream, tip = _chain(depth)
+    scope = DataScope(stream, cache_stride=stride)
+    scope.thread_state(tip)
+    record = HistoryRecord(task="new", inputs=(), outputs=("n@1",), steps=())
+    tip = stream.append(record, tip)
+    scope.nodes_visited = 0
+    scope.thread_state(tip)
+    cached = sum(1 for p in stream.points()
+                 if stream.node(p).cached_scope is not None)
+    return scope.nodes_visited, cached
+
+
+def test_cache_stride_tradeoff(benchmark):
+    benchmark.pedantic(lambda: stride_cost(250, 8), rounds=1, iterations=1)
+    # depth 250 is deliberately not a multiple of the larger strides, so the
+    # walk-to-nearest-cache distance differs per stride
+    banner("E-ABL(a) — data-scope cache stride (chain depth 250)")
+    rows = []
+    costs = {}
+    cached_counts = {}
+    for stride in (0, 1, 2, 4, 8, 16, 32, 64):
+        cost, cached = stride_cost(250, stride)
+        costs[stride] = cost
+        cached_counts[stride] = cached
+        rows.append([stride if stride else "off", cost, cached])
+    table(["stride", "warm query cost (nodes)", "cached states held"], rows)
+    # cost grows with stride (longer walk to the nearest cache)...
+    assert costs[1] <= costs[8] <= costs[64] < costs[0]
+    # ...while memory held shrinks; stride 8 (the default) caches ~1/8
+    assert cached_counts[8] < cached_counts[1] / 4
+
+
+# ---------------------------------------------------- grace period sweep
+
+
+def grace_outcome(grace_hours: float) -> tuple[int, int]:
+    """(versions still held, undeletes that succeeded) under one grace."""
+    clock = VirtualClock()
+    db = DesignDatabase(clock=clock)
+    # 20 objects deleted at hour i; at hour 20 the user undeletes 3 recent
+    for i in range(20):
+        db.put(f"obj{i}", "x" * 50)
+        db.delete(f"obj{i}@1")
+        clock.advance(3600)
+        db.reclaim(grace_seconds=grace_hours * 3600)
+    undeleted = 0
+    for i in (17, 18, 19):
+        try:
+            db.undelete(f"obj{i}@1")
+            undeleted += 1
+        except Exception:
+            pass
+    return db.stats()["live"] + db.stats()["tombstoned"], undeleted
+
+
+def test_reclaim_grace_tradeoff(benchmark):
+    benchmark.pedantic(lambda: grace_outcome(4), rounds=1, iterations=1)
+    banner("E-ABL(b) — reclamation grace period: storage vs undelete safety")
+    rows = []
+    outcomes = {}
+    for hours in (0, 1, 4, 12, 48):
+        held, undeleted = grace_outcome(hours)
+        outcomes[hours] = (held, undeleted)
+        rows.append([hours, held, f"{undeleted}/3"])
+    table(["grace (hours)", "versions held", "recent undeletes OK"], rows)
+    # zero grace: minimal storage but undelete always fails
+    assert outcomes[0][1] == 0
+    # long grace: everything undeletable, everything held
+    assert outcomes[48][1] == 3
+    assert outcomes[48][0] > outcomes[0][0]
+    # held versions grow monotonically with grace
+    helds = [outcomes[h][0] for h in (0, 1, 4, 12, 48)]
+    assert helds == sorted(helds)
+
+
+# ------------------------------------------------- cluster heterogeneity
+
+
+def heterogeneity_makespan(speeds: list[float]) -> float:
+    clock = VirtualClock()
+    hosts = [Workstation("home", speed=speeds[0])] + [
+        Workstation(f"ws{i:02d}", speed=s)
+        for i, s in enumerate(speeds[1:], start=1)
+    ]
+    cluster = Cluster(hosts, clock=clock)
+    for i in range(8):
+        cluster.submit(f"job{i}", work=10.0)
+    cluster.drain()
+    return clock.now
+
+
+def test_cluster_heterogeneity(benchmark):
+    benchmark.pedantic(
+        lambda: heterogeneity_makespan([1, 1, 1, 1]), rounds=1, iterations=1)
+    banner("E-ABL(c) — speed heterogeneity at constant total capacity 4.0")
+    mixes = {
+        "4 x 1.0 (uniform)": [1.0, 1.0, 1.0, 1.0],
+        "2.0 + 1.0 + 0.5 + 0.5": [2.0, 1.0, 0.5, 0.5],
+        "2.5 + 0.5 + 0.5 + 0.5": [2.5, 0.5, 0.5, 0.5],
+        "3.4 + 0.2 + 0.2 + 0.2": [3.4, 0.2, 0.2, 0.2],
+    }
+    rows = []
+    spans = {}
+    for label, speeds in mixes.items():
+        spans[label] = heterogeneity_makespan(speeds)
+        rows.append([label, spans[label]])
+    table(["speed mix (total 4.0)", "makespan, 8 x 10s jobs"], rows)
+    # Mild skew can actually help (re-migration funnels work to the fast
+    # node), but extreme skew strands jobs on near-useless machines and
+    # stretches the makespan well past uniform.
+    uniform = spans["4 x 1.0 (uniform)"]
+    assert spans["3.4 + 0.2 + 0.2 + 0.2"] > uniform * 1.5
+
+
+# -------------------------------------------- placement refinement sweep
+
+
+def test_placement_refinement(benchmark):
+    """E-ABL(d): greedy vs iterative-improvement placement quality."""
+    from repro.cad.logic import BehavioralSpec
+    from repro.cad.tools_logic import generate_network
+    from repro.cad.tools_phys import (
+        place_network,
+        refine_placement,
+        route_layout,
+    )
+
+    def wirelengths(kind: str, width: int) -> tuple[int, int, int]:
+        net = generate_network(BehavioralSpec("d", kind, width))
+        greedy = place_network(net, rows=3)
+        refined = refine_placement(greedy)
+        return (route_layout(greedy).wirelength(),
+                route_layout(refined).wirelength(),
+                route_layout(refined).tracks_used)
+
+    benchmark.pedantic(lambda: wirelengths("alu", 3), rounds=1, iterations=1)
+    banner("E-ABL(d) — greedy vs iterative-improvement placement")
+    rows = []
+    for kind, width in [("adder", 4), ("alu", 3), ("shifter", 4),
+                        ("comparator", 4)]:
+        greedy_wl, refined_wl, tracks = wirelengths(kind, width)
+        gain = 1 - refined_wl / greedy_wl if greedy_wl else 0.0
+        rows.append([f"{kind}[{width}]", greedy_wl, refined_wl,
+                     f"{gain:.0%}", tracks])
+        assert refined_wl <= greedy_wl
+    table(["design", "greedy HPWL", "refined HPWL", "reduction",
+           "tracks after"], rows)

@@ -1,0 +1,80 @@
+"""Experiment E-SCOPE — §5.3: thread-state caching for data-scope computation.
+
+The data scope of the current cursor is recomputed on every name resolution;
+the activity manager caches the thread states of selected design points so
+the backward traversal can stop early.  We grow control streams of
+increasing depth (with branches) and compare traversal cost (nodes visited)
+and wall time for cached vs uncached computation.  Cached cost must stay
+roughly flat with depth once warm; uncached cost grows linearly.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import banner, table
+from repro.core.control_stream import INITIAL_POINT, ControlStream
+from repro.core.datascope import DataScope
+from repro.core.history import HistoryRecord
+
+
+def build_stream(depth: int, branch_every: int = 10) -> tuple[ControlStream, int]:
+    stream = ControlStream()
+    parent = INITIAL_POINT
+    for i in range(depth):
+        record = HistoryRecord(
+            task=f"t{i}", inputs=(f"o{i - 1}@1",) if i else (),
+            outputs=(f"o{i}@1",), steps=(),
+        )
+        point = stream.append(record, parent)
+        if i % branch_every == 0:
+            side = HistoryRecord(task=f"b{i}", inputs=(),
+                                 outputs=(f"s{i}@1",), steps=())
+            stream.append(side, parent)
+        parent = point
+    return stream, parent
+
+
+def query_cost(depth: int, stride: int) -> tuple[int, float]:
+    """Nodes visited + wall time for a warm query at the frontier."""
+    stream, tip = build_stream(depth)
+    scope = DataScope(stream, cache_stride=stride)
+    scope.thread_state(tip)              # warm pass (fills caches if any)
+    # simulate one more commit, then re-query: the common interactive case
+    record = HistoryRecord(task="new", inputs=(), outputs=("new@1",), steps=())
+    tip = stream.append(record, tip)
+    scope.nodes_visited = 0
+    start = time.perf_counter()
+    state = scope.thread_state(tip)
+    elapsed = time.perf_counter() - start
+    assert f"o{depth - 1}@1" in state
+    return scope.nodes_visited, elapsed
+
+
+def test_datascope_cache_flattens_traversal(benchmark):
+    benchmark.pedantic(lambda: query_cost(256, 8), rounds=1, iterations=1)
+
+    banner("§5.3 — data-scope computation: cached vs uncached traversal")
+    rows = []
+    visited = {}
+    for depth in (64, 128, 256, 512):
+        cached_nodes, cached_time = query_cost(depth, stride=8)
+        uncached_nodes, uncached_time = query_cost(depth, stride=0)
+        visited[depth] = (cached_nodes, uncached_nodes)
+        rows.append([depth, cached_nodes, uncached_nodes,
+                     cached_time * 1e6, uncached_time * 1e6])
+    table(["stream depth", "nodes visited (cached)",
+           "nodes visited (uncached)", "cached time (us)",
+           "uncached time (us)"], rows)
+
+    # uncached grows with depth; cached stays bounded by the stride window
+    assert visited[512][1] > visited[64][1] * 4
+    assert visited[512][0] <= visited[64][0] + 8
+    assert visited[512][0] < visited[512][1] / 10
+
+    # correctness: cached result equals uncached result on a shared stream
+    stream, tip = build_stream(100)
+    cached = DataScope(stream, cache_stride=4)
+    warm = cached.thread_state(tip)
+    cold = cached.thread_state(tip, use_cache=False)
+    assert warm == cold

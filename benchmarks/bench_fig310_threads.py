@@ -1,0 +1,101 @@
+"""Experiment F3.8–3.11 — thread manipulation and synchronization.
+
+The ALU scenario: module threads are developed independently, cells are
+shared through an SDS with predicate-filtered notification (Fig 3.11), and
+completed threads are joined bottom-up into larger entities (Figs 3.8–3.10).
+Measures notification traffic with and without predicates, and verifies the
+merge semantics (workspace union, frontier rule, post-merge independence).
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, fresh_papyrus, table
+from repro.core.sds import attr_improved
+from repro.core.thread_ops import cascade, fork, join
+
+
+def build_team(predicates: bool):
+    papyrus = fresh_papyrus(hosts=4)
+    designers = {}
+    for module, spec in [("arith", "adder.spec"), ("shift", "shifter.spec"),
+                         ("ctl", "decoder.spec")]:
+        d = papyrus.open_thread(module, owner=module)
+        d.invoke("Create_Logic_Description", {"Spec": spec},
+                 {"Outcell": f"{module}.logic"})
+        d.invoke("Standard_Cell_PR", {"Incell": f"{module}.logic"},
+                 {"Outcell": f"{module}.layout"})
+        designers[module] = d
+    sds = papyrus.lwt.create_sds(
+        "exchange", [d.thread for d in designers.values()])
+    preds = ((attr_improved(lambda obj: float(obj.payload.area)),)
+             if predicates else ())
+    # everyone retrieves arith's layout with a notification flag
+    sds.contribute(designers["arith"].thread, "arith.layout")
+    for module in ("shift", "ctl"):
+        sds.retrieve(designers[module].thread, "arith.layout",
+                     predicates=preds)
+    # arith re-publishes 4 new versions: 2 better, 2 worse (area-wise)
+    base = papyrus.db.get("arith.layout").payload
+    import dataclasses
+
+    for factor in (1.2, 0.9, 1.3, 0.8):
+        cells = [dataclasses.replace(c, width=max(1, int(c.width * factor)))
+                 for c in base.cells]
+        new = dataclasses.replace(base, cells=cells)
+        obj = papyrus.db.put("arith.layout", new)
+        designers["arith"].thread.extra_objects.add(str(obj.name))
+        sds.contribute(designers["arith"].thread, str(obj.name))
+        base = new
+    notified = sum(len(d.thread.notifications)
+                   for d in designers.values())
+    return papyrus, designers, sds, notified
+
+
+def test_fig310_team_workflow(benchmark):
+    papyrus, designers, sds, with_preds = benchmark.pedantic(
+        lambda: build_team(predicates=True), rounds=1, iterations=1)
+    _, _, sds_plain, without_preds = build_team(predicates=False)
+
+    banner("Figs 3.8–3.11 — cooperation through SDS and thread merges")
+    table(
+        ["notification policy", "messages delivered", "suppressed"],
+        [["every new version (default)", without_preds,
+          sds_plain.notifications_suppressed],
+         ["only-if-smaller predicate", with_preds,
+          sds.notifications_suppressed]],
+    )
+    assert with_preds < without_preds
+    assert sds.notifications_suppressed > 0
+
+    # Fig 3.10: join arith & shift into ALU; cascade in ctl; fork a scratch.
+    arith, shift, ctl = (designers[m].thread for m in
+                         ("arith", "shift", "ctl"))
+    alu = join(arith, shift, "ALU")
+    assert alu.workspace() >= (arith.workspace() | shift.workspace())
+    chip = cascade(alu, ctl, "chip",
+                   connector=alu.current_cursor)
+    assert chip.is_visible("arith.layout") and chip.is_visible("ctl.layout")
+    scratch = fork(chip, "scratch", inherit="workspace")
+    assert scratch.is_visible("shift.layout")
+
+    rows = [
+        ["join(arith, shift)", "ALU", len(alu.stream),
+         len(alu.workspace())],
+        ["cascade(ALU, ctl)", "chip", len(chip.stream),
+         len(chip.workspace())],
+        ["fork(chip, workspace)", "scratch", len(scratch.stream),
+         len(scratch.workspace())],
+    ]
+    print()
+    table(["operation", "result thread", "history records",
+           "workspace objects"], rows)
+
+    # post-merge independence (the thesis's key merge property)
+    before = len(chip.workspace())
+    rec = papyrus.taskmgr.run_task("Padp", inputs={"Incell": "arith.layout"},
+                                   outputs={"Outcell": "arith.pad2"})
+    arith.commit_record(rec)
+    assert len(chip.workspace()) == before
+    assert not chip.is_visible("arith.pad2")
+    print("\n  post-merge independence: new work in 'arith' stayed "
+          "invisible to 'chip'")

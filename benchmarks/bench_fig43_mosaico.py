@@ -1,0 +1,65 @@
+"""Experiment F4.3 — Fig 4.3: the Mosaico task's conditional control flow.
+
+Runs the Mosaico macro-cell pipeline on an uncongested and a congested
+layout.  On the congested one, horizontal compaction must fail, the
+``$status`` conditional must fire vertical compaction, and the task must
+still commit with a complete, routed, abstracted chip — the exact control
+flow of the thesis's Fig 4.3 walkthrough.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, fresh_papyrus, table
+from repro.workloads.designs import congested_layout, sparse_layout
+
+
+def run_mosaico(congested: bool):
+    papyrus = fresh_papyrus(hosts=4)
+    layout = (congested_layout(papyrus.db) if congested
+              else sparse_layout(papyrus.db))
+    designer = papyrus.open_thread("bench")
+    point = designer.invoke("Mosaico", {"Incell": str(layout.name)},
+                            {"Outcell": "chip", "Cell_Statistics": "stats"})
+    record = designer.thread.stream.record(point)
+    report = papyrus.db.get("stats").payload
+    return papyrus, record, report
+
+
+def test_fig43_mosaico_conditional_flow(benchmark):
+    papyrus, congested_rec, congested_report = benchmark.pedantic(
+        lambda: run_mosaico(True), rounds=1, iterations=1)
+    _, sparse_rec, sparse_report = run_mosaico(False)
+
+    banner("Fig 4.3 — Mosaico: $status-conditional compaction")
+    rows = []
+    for label, record, report in [("uncongested", sparse_rec, sparse_report),
+                                  ("congested", congested_rec,
+                                   congested_report)]:
+        names = [s.name for s in record.steps]
+        status = {s.name: s.status for s in record.steps}
+        rows.append([
+            label,
+            len(record.steps),
+            status.get("Horizontal_Compaction"),
+            "yes" if "Vertical_Compaction" in names else "no",
+            report.value("area"),
+            report.value("tracks"),
+        ])
+    table(["input layout", "steps run", "horiz. status",
+           "vertical ran?", "final area", "tracks"], rows)
+
+    sparse_names = [s.name for s in sparse_rec.steps]
+    congested_names = [s.name for s in congested_rec.steps]
+    assert "Vertical_Compaction" not in sparse_names
+    assert "Vertical_Compaction" in congested_names
+    congested_status = {s.name: s.status for s in congested_rec.steps}
+    assert congested_status["Horizontal_Compaction"] == 1
+    assert congested_status["Vertical_Compaction"] == 0
+    # the pipeline completed either way
+    for names in (sparse_names, congested_names):
+        assert names[-1] in ("Statistics_Calculation", "Routing_Checks")
+        assert "Create_Abstraction_View" in names
+    # control dependency: via minimization waited for the P/G calculation
+    by_name = {s.name: s for s in congested_rec.steps}
+    assert (by_name["Via_Minimization"].started_at
+            >= by_name["Power_Ground_Current_Calculation"].completed_at)

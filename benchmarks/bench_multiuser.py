@@ -1,0 +1,59 @@
+"""Experiment E-TEAM — multi-designer throughput on a shared network.
+
+The thesis's distributed-architecture requirement (§1.4) is about a *group*
+sharing the otherwise-wasted cycles of a workstation pool, and §3.3.4 allows
+"multiple design threads active simultaneously".  This experiment scales the
+number of concurrently running task instantiations on a fixed 6-host network
+and reports the classic saturation curve: concurrent instantiations
+interleave their steps across the pool (far better than serial turn-taking),
+with throughput flattening once the pool saturates.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, fresh_papyrus, table
+
+
+def team_run(designers: int, concurrent: bool) -> tuple[float, int]:
+    papyrus = fresh_papyrus(hosts=6)
+    requests = []
+    for i in range(designers):
+        requests.append((
+            "Parallel_Analysis", {"Incell": "alu.spec@1"},
+            {"Stats": f"d{i}.s", "Power": f"d{i}.p", "Sim": f"d{i}.m"},
+        ))
+    if concurrent:
+        records = papyrus.taskmgr.run_concurrent(requests)
+    else:
+        records = [papyrus.taskmgr.run_task(n, inputs=i, outputs=o)
+                   for n, i, o in requests]
+    steps = sum(len(r.steps) for r in records)
+    return papyrus.clock.now, steps
+
+
+def test_multiuser_saturation(benchmark):
+    benchmark.pedantic(lambda: team_run(2, True), rounds=1, iterations=1)
+
+    banner("E-TEAM — concurrent designers on a 6-host network "
+           "(one Parallel_Analysis each)")
+    rows = []
+    concurrent_spans = {}
+    for designers in (1, 2, 4, 8):
+        span_concurrent, steps = team_run(designers, concurrent=True)
+        span_serial, _ = team_run(designers, concurrent=False)
+        concurrent_spans[designers] = span_concurrent
+        rows.append([
+            designers, steps, span_concurrent, span_serial,
+            f"{span_serial / span_concurrent:.2f}x",
+        ])
+    table(["designers", "steps run", "concurrent makespan (s)",
+           "serial makespan (s)", "interleaving gain"], rows)
+
+    # interleaving beats turn-taking as soon as there is >1 designer
+    one = concurrent_spans[1]
+    assert concurrent_spans[2] < 2 * one
+    assert concurrent_spans[4] < 4 * one
+    # but the pool saturates: 8 designers take longer than 1
+    assert concurrent_spans[8] > one
+    # and sublinearly — the network genuinely shares
+    assert concurrent_spans[8] < 8 * one

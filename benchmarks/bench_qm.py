@@ -1,0 +1,80 @@
+"""Experiment E-QM — substrate ablation: the espresso (Quine-McCluskey) core.
+
+The thesis's scenarios lean on espresso actually minimizing logic (PLA areas,
+attribute values, panda's area constraint).  This bench validates the
+substrate: on random on-sets of growing width, minimization must preserve
+the function exactly while cutting terms and literals substantially, at
+tractable cost.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import banner, table
+from repro.cad import qm
+from repro.cad.logic import Cover
+
+
+def _random_on_set(width: int, density: float, seed: int) -> set[int]:
+    state = seed or 1
+    on = set()
+    for minterm in range(1 << width):
+        state ^= (state << 13) & 0xFFFFFFFF
+        state ^= state >> 17
+        state ^= (state << 5) & 0xFFFFFFFF
+        if (state % 1000) / 1000.0 < density:
+            on.add(minterm)
+    return on
+
+
+def minimize_suite(width: int, cases: int = 5) -> dict:
+    terms_before = terms_after = literals_before = literals_after = 0
+    elapsed = 0.0
+    for case in range(cases):
+        on = _random_on_set(width, density=0.45, seed=width * 100 + case + 1)
+        if not on:
+            continue
+        cover = Cover.from_minterms(width, on)
+        start = time.perf_counter()
+        result = qm.minimize(cover)
+        elapsed += time.perf_counter() - start
+        assert result.on_set() == frozenset(on)   # exactness
+        terms_before += cover.num_terms
+        terms_after += result.num_terms
+        literals_before += cover.num_literals
+        literals_after += result.num_literals
+    return {
+        "width": width,
+        "terms_before": terms_before,
+        "terms_after": terms_after,
+        "literals_before": literals_before,
+        "literals_after": literals_after,
+        "ms": elapsed * 1e3,
+    }
+
+
+def test_qm_minimizer_quality(benchmark):
+    benchmark.pedantic(lambda: minimize_suite(6), rounds=1, iterations=1)
+
+    banner("Substrate ablation — Quine-McCluskey two-level minimization")
+    rows = []
+    for width in (4, 5, 6, 7, 8):
+        result = minimize_suite(width)
+        reduction = 1 - result["literals_after"] / result["literals_before"]
+        rows.append([
+            width, result["terms_before"], result["terms_after"],
+            result["literals_before"], result["literals_after"],
+            f"{reduction:.0%}", result["ms"],
+        ])
+        # random half-density functions minimize dramatically
+        assert result["terms_after"] < result["terms_before"]
+        assert result["literals_after"] < result["literals_before"] * 0.7
+    table(["inputs", "terms in", "terms out", "literals in",
+           "literals out", "literal cut", "time (ms, 5 cases)"], rows)
+
+    # a classic: f = sum m(0,1,2,5,6,7) has the known 2-term-per-pair optimum
+    classic = qm.minimize(Cover.from_minterms(3, {0, 1, 2, 5, 6, 7}))
+    print(f"\n  classic 3-var example minimized to {classic.num_terms} terms "
+          f"({classic.num_literals} literals)")
+    assert classic.num_terms <= 4

@@ -1,0 +1,140 @@
+"""Experiment E-RETRACE — consistency maintenance: Papyrus vs VOV vs make.
+
+The same change (a behavioral spec grows from 4 to 6 bits) propagates through
+the same derivation chain under three regimes:
+
+* **Papyrus** — the ADG (inferred from history, §6.2) drives regeneration;
+  new versions are created, old versions stay retrievable (rework intact);
+* **VOV (mini)** — hand-recorded traces drive in-place retracing; history is
+  destroyed by the update;
+* **make (mini)** — hand-written rules, timestamp rebuild; correct but the
+  dependency knowledge had to be supplied by the user.
+
+All three must re-run the same number of tool applications (the chain is the
+chain); the differences are in who *derived* the dependency knowledge and
+what survives the update.
+"""
+
+from __future__ import annotations
+
+from benchmarks.common import banner, fresh_papyrus, table
+from repro.baselines.makefile import Make
+from repro.baselines.vov import Trace, VovManager
+from repro.cad import default_registry
+from repro.cad.logic import BehavioralSpec
+from repro.cad.registry import ToolCall
+from repro.clock import VirtualClock
+from repro.metadata.retrace import Retracer
+
+REGISTRY = default_registry()
+
+
+def _run_tool(tool: str, payloads: tuple, options=()) -> object:
+    call = ToolCall(tool, options=tuple(options), inputs=payloads,
+                    output_names=("out",))
+    result = REGISTRY.run(call)
+    assert result.ok, result.log
+    return result.outputs["out"]
+
+
+def papyrus_regime():
+    papyrus = fresh_papyrus(hosts=2)
+    original = papyrus.taskmgr.run_task
+    papyrus.taskmgr.run_task = (   # type: ignore[method-assign]
+        lambda *a, **k: original(*a, **{**k, "keep_intermediates": True}))
+    designer = papyrus.open_thread("work")
+    designer.invoke(
+        "Structure_Synthesis",
+        {"Incell": "adder.spec", "Musa_Command": "musa.cmd"},
+        {"Outcell": "a.lay", "Cell_Statistics": "a.st"},
+    )
+    papyrus.observe_history(designer)
+    retracer = Retracer(papyrus.db, REGISTRY, papyrus.inference.adg)
+    new_spec = papyrus.db.put("adder.spec", BehavioralSpec("adder", "adder", 6))
+    result = retracer.retrace("adder.spec@1", str(new_spec.name))
+    assert result.ok
+    old_recoverable = papyrus.db.get("a.lay@1").payload is not None
+    return {
+        "system": "Papyrus (ADG, inferred)",
+        "user_supplied_deps": 0,
+        "reruns": len(result.steps),
+        "old_version_recoverable": old_recoverable,
+        "new_area": papyrus.db.get("a.lay").payload.area,
+    }
+
+
+def vov_regime():
+    vov = VovManager()
+    spec = BehavioralSpec("adder", "adder", 4)
+    vov.write("spec", spec)
+    net = _run_tool("bdsyn", (spec,))
+    vov.record(Trace("bdsyn", (), ("spec",), ("net",)), {"net": net})
+    opt = _run_tool("misII", (net,))
+    vov.record(Trace("misII", (), ("net",), ("opt",)), {"opt": opt})
+    lay = _run_tool("wolfe", (opt,))
+    vov.record(Trace("wolfe", (), ("opt",), ("lay",)), {"lay": lay})
+    old_area = lay.area
+
+    def runner(trace, store):
+        inputs = tuple(store[n] for n in trace.inputs)
+        return {trace.outputs[0]: _run_tool(trace.tool, inputs)}
+
+    vov.retrace("spec", BehavioralSpec("adder", "adder", 6), runner)
+    return {
+        "system": "VOV mini (traces, in place)",
+        "user_supplied_deps": 0,      # traces recorded automatically too...
+        "reruns": vov.retraced,
+        "old_version_recoverable": vov.store["lay"].area == old_area,
+        "new_area": vov.store["lay"].area,
+    }
+
+
+def make_regime():
+    make = Make(clock=VirtualClock())
+    make.touch("spec", BehavioralSpec("adder", "adder", 4))
+    # ...but with make the user writes every rule by hand:
+    rules = 0
+    make.rule("net", ["spec"], lambda s: _run_tool("bdsyn", (s["spec"],)))
+    make.rule("opt", ["net"], lambda s: _run_tool("misII", (s["net"],)))
+    make.rule("lay", ["opt"], lambda s: _run_tool("wolfe", (s["opt"],)))
+    rules = 3
+    make.build("lay")
+    make.actions_run = 0
+    make.clock.advance(10)
+    make.touch("spec", BehavioralSpec("adder", "adder", 6))
+    make.build("lay")
+    return {
+        "system": "make mini (hand-written rules)",
+        "user_supplied_deps": rules,
+        "reruns": make.actions_run,
+        "old_version_recoverable": False,
+        "new_area": make.store["lay"].area,
+    }
+
+
+def test_retrace_comparison(benchmark):
+    papyrus_row = benchmark.pedantic(papyrus_regime, rounds=1, iterations=1)
+    vov_row = vov_regime()
+    make_row = make_regime()
+
+    banner("E-RETRACE — change propagation: Papyrus vs VOV vs make")
+    rows = [
+        [r["system"], r["user_supplied_deps"], r["reruns"],
+         "yes" if r["old_version_recoverable"] else "no", r["new_area"]]
+        for r in (papyrus_row, vov_row, make_row)
+    ]
+    table(["system", "hand-written dependencies", "tool re-runs",
+           "old version recoverable?", "new layout area"], rows)
+
+    # only Papyrus keeps the superseded version retrievable
+    assert papyrus_row["old_version_recoverable"]
+    assert not vov_row["old_version_recoverable"]
+    assert not make_row["old_version_recoverable"]
+    # Papyrus derived the dependency knowledge; make needed it typed in
+    assert papyrus_row["user_supplied_deps"] == 0
+    assert make_row["user_supplied_deps"] > 0
+    # the regenerated results agree across regimes (same chain, same tools)
+    assert vov_row["new_area"] == make_row["new_area"]
+    # the Papyrus chain includes the pads/statistics extras of the full task,
+    # so it re-runs at least as much as the 3-step baselines
+    assert papyrus_row["reruns"] >= vov_row["reruns"] == make_row["reruns"] == 3

@@ -1,0 +1,94 @@
+"""Experiment F5.x-VP — §5.2: lazy pan/zoom transform compression.
+
+Reproduces the thesis's worked example — the gesture sequence
+``[50,0] {2} {2} [100,0] {0.5} [-20,0] [0,50]`` compresses to the single
+transform ``[65,25] {2}`` — and measures the display-update saving of the
+lazy strategy against the eager retraverse-on-every-gesture baseline, for
+growing history sizes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.common import banner, table
+from repro.activity.viewport import (
+    EagerViewport,
+    PanZoomOp,
+    Viewport,
+    apply_sequence,
+    compress,
+)
+
+THESIS_SEQUENCE = [
+    PanZoomOp.pan(50, 0), PanZoomOp.zoom(2), PanZoomOp.zoom(2),
+    PanZoomOp.pan(100, 0), PanZoomOp.zoom(0.5),
+    PanZoomOp.pan(-20, 0), PanZoomOp.pan(0, 50),
+]
+
+
+def browse_session(viewport, items: int, gestures: int) -> tuple[int, float]:
+    """A browsing session: populate, then pan/zoom a lot, then add a record."""
+    for i in range(items):
+        viewport.add_item(i, (float(i), float(i % 7)))
+    viewport.updates = 0
+    start = time.perf_counter()
+    for g in range(gestures):
+        viewport.pan(10.0 + g % 3, -5.0)
+        viewport.zoom(1.05 if g % 2 else 0.97)
+    viewport.add_item(items + 1, (0.0, 0.0))   # lazy flush happens here
+    elapsed = time.perf_counter() - start
+    return viewport.updates, elapsed
+
+
+def test_viewport_lazy_compression(benchmark):
+    benchmark.pedantic(
+        lambda: browse_session(Viewport(), 200, 100), rounds=1, iterations=1)
+
+    # -- the worked example from §5.2
+    translation, magnification = compress(THESIS_SEQUENCE)
+    banner("§5.2 — lazy pan/zoom compression")
+    print(f"  thesis sequence compresses to translation {translation}, "
+          f"magnification {{{magnification}}}  (paper: [65,25] {{2}})")
+    assert translation == (65.0, 25.0)
+    assert magnification == 2.0
+    probe = (12.0, -3.0)
+    direct = apply_sequence(THESIS_SEQUENCE, probe)
+    lazy = ((probe[0] + translation[0]) * magnification,
+            (probe[1] + translation[1]) * magnification)
+    assert direct == lazy
+
+    # -- update-cost comparison
+    print()
+    rows = []
+    for items, gestures in [(50, 30), (200, 100), (800, 300)]:
+        lazy_updates, lazy_time = browse_session(Viewport(), items, gestures)
+        eager_updates, eager_time = browse_session(
+            EagerViewport(), items, gestures)
+        rows.append([f"{items} records, {gestures} gestures",
+                     lazy_updates, eager_updates,
+                     lazy_time * 1e3, eager_time * 1e3,
+                     f"{eager_updates / max(1, lazy_updates):.0f}x"])
+    table(["browsing session", "item updates (lazy)",
+           "item updates (eager)", "lazy ms", "eager ms",
+           "update reduction"], rows)
+
+    # lazy performs exactly items+1 updates (one flush + the insertion);
+    # eager performs items*gestures*2.
+    lazy_updates, _ = browse_session(Viewport(), 100, 50)
+    assert lazy_updates == 101
+    eager_updates, _ = browse_session(EagerViewport(), 100, 50)
+    assert eager_updates == 100 * 50 * 2 + 1
+
+    # both agree on final coordinates
+    lazy_vp, eager_vp = Viewport(), EagerViewport()
+    for vp in (lazy_vp, eager_vp):
+        vp.add_item(1, (5.0, 9.0))
+        for op in THESIS_SEQUENCE:
+            if op.kind == "pan":
+                vp.pan(op.dx, op.dy)
+            else:
+                vp.zoom(op.factor)
+    lx, ly = lazy_vp.coords(1)
+    ex, ey = eager_vp.coords(1)
+    assert abs(lx - ex) < 1e-9 and abs(ly - ey) < 1e-9

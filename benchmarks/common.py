@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the thesis's tables/figures (or a
+quantitative experiment for a mechanism the thesis claims qualitatively) and
+prints the rows it reproduces; pytest-benchmark additionally times the core
+operation.  Simulated quantities (makespans, compute seconds) come from the
+virtual clock, so they are deterministic and machine-independent.
+"""
+
+from __future__ import annotations
+
+from repro import Papyrus
+
+
+def fresh_papyrus(hosts: int = 4, **kwargs) -> Papyrus:
+    return Papyrus.standard(hosts=hosts, **kwargs)
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def table(headers: list[str], rows: list[list]) -> None:
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    print("  " + " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(_fmt(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)

@@ -1,0 +1,56 @@
+"""Driving Papyrus through the interactive shell.
+
+The shell (``python -m repro.cli``) is the line-mode stand-in for the
+thesis's Tk interface.  This example scripts a full session through the same
+command surface a human would type: browse the template library, run a
+synthesis, rework into a PLA branch, annotate, time-travel, persist the
+installation, and restore it.
+
+Run:  python examples/interactive_shell.py
+"""
+
+import tempfile
+
+from repro.cli import Shell
+
+SESSION = """
+tasks
+thread shifter-work
+invoke Create_Logic_Description Spec=shifter.spec -- Outcell=s.logic
+invoke Logic_Simulator Incell=s.logic Command=musa.cmd -- Report=s.sim
+invoke Standard_Cell_PR Incell=s.logic -- Outcell=s.sc
+annotate 3 the standard-cell attempt
+move 2
+invoke PLA_Generation Incell=s.logic -- Outcell=s.pla
+render
+scope
+goto note the standard-cell attempt
+workspace
+"""
+
+
+def main() -> None:
+    shell = Shell()
+    for line in SESSION.strip().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        print(f"papyrus> {line}")
+        for out in shell.execute(line):
+            print(out)
+        print()
+
+    with tempfile.TemporaryDirectory() as snapshot:
+        print(f"papyrus> save {snapshot}")
+        for out in shell.execute(f"save {snapshot}"):
+            print(out)
+        print(f"papyrus> load {snapshot}")
+        for out in shell.execute(f"load {snapshot}"):
+            print(out)
+        print("papyrus> render")
+        for out in shell.execute("render"):
+            print(out)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""A month in the life of a design project — §5.4 + the generated notebook.
+
+Replays four weeks of work (weekly synthesis, an abandoned PLA exploration,
+a recent iterative-refinement burst), then runs the storage reclaimer ladder
+— vertical aging, horizontal aging, iteration abstraction, dead-branch
+pruning — and finally generates the design notebook from what remains.
+
+Run:  python examples/project_lifecycle.py
+"""
+
+from repro import Papyrus, Reclaimer
+from repro.activity.viewport import render_stream
+from repro.metadata.notebook import design_notebook
+from repro.workloads.scenarios import DAY, month_of_work
+
+
+def main() -> None:
+    papyrus = Papyrus.standard(hosts=2)
+    outcome = month_of_work(papyrus)
+    designer = outcome.designer
+    thread = designer.thread
+
+    print("=== after four weeks of work ===")
+    print(render_stream(thread.stream, cursor=thread.current_cursor))
+    print(f"\n  history records: {len(thread.stream)}")
+    print(f"  database:        {papyrus.db.stats()}")
+
+    papyrus.observe_history(designer)
+
+    reclaimer = Reclaimer(thread)
+    print("\n=== reclamation ladder ===")
+    report = reclaimer.vertical_aging(older_than=14 * DAY)
+    print(f"  vertical aging:   {report.records_abstracted} records "
+          "abstracted (step detail forgotten)")
+    report = reclaimer.horizontal_aging(older_than=21 * DAY)
+    print(f"  horizontal aging: {report.records_pruned} old records "
+          "collapsed into an archive mark")
+    for chain in reclaimer.find_iterations(min_rounds=3):
+        report = reclaimer.abstract_iterations(chain)
+        print(f"  iteration GC:     {report.records_pruned} redundant "
+              "refinement rounds pruned")
+    report = reclaimer.prune_dead_branches(idle_for=10 * DAY)
+    print(f"  dead branches:    {report.records_pruned} records on "
+          "abandoned branches erased")
+    papyrus.clock.advance(2 * DAY)
+    reclaimed = papyrus.db.reclaim(grace_seconds=DAY)
+    print(f"  physical reclaim: {len(reclaimed)} object versions freed")
+
+    print("\n=== after reclamation ===")
+    print(render_stream(thread.stream, cursor=thread.current_cursor))
+    print(f"\n  history records: {len(thread.stream)}")
+    print(f"  database:        {papyrus.db.stats()}")
+
+    print("\n=== generated design notebook ===")
+    print(design_notebook(thread, papyrus.inference))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Design exploration with rework — the thesis's Fig 3.7 scenario.
+
+A designer synthesizes a shifter, tries a standard-cell implementation,
+is unhappy, *reworks* back to the post-simulation design point, explores a
+PLA implementation on a fresh branch, compares the two alternatives with
+inferred attributes, and finally erases the losing branch — all without
+doing any version bookkeeping by hand.
+
+Run:  python examples/shifter_exploration.py
+"""
+
+from repro import Papyrus
+from repro.activity.viewport import render_stream
+
+
+def main() -> None:
+    papyrus = Papyrus.standard(hosts=4)
+    designer = papyrus.open_thread("Shifter-synthesis", owner="chiueh")
+    thread = designer.thread
+
+    # 1-2: create the logic description and verify it
+    designer.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                    {"Outcell": "shifter.logic"})
+    p2 = designer.invoke(
+        "Logic_Simulator",
+        {"Incell": "shifter.logic", "Command": "musa.cmd"},
+        {"Report": "shifter.sim"},
+    )
+
+    # 3-4: the standard-cell approach
+    designer.invoke("Standard_Cell_PR", {"Incell": "shifter.logic"},
+                    {"Outcell": "shifter.sc"})
+    p4 = designer.invoke("Padp", {"Incell": "shifter.sc"},
+                         {"Outcell": "shifter.sc.padded"})
+
+    # Rework: back to design point 2, explore the PLA style
+    designer.move_cursor(p2)
+    designer.invoke("PLA_Generation", {"Incell": "shifter.logic"},
+                    {"Outcell": "shifter.pla"},
+                    annotation="The Start of PLA Approach")
+    p6 = designer.invoke("Padp", {"Incell": "shifter.pla"},
+                         {"Outcell": "shifter.pla.padded"})
+
+    print("Control stream after exploration (two branches, Fig 3.7):")
+    print(render_stream(thread.stream, cursor=thread.current_cursor))
+    print()
+
+    # Papyrus maintained the alternative->objects mapping; compare them.
+    attrdb = papyrus.taskmgr.attrdb
+    sc_area = attrdb.get("shifter.sc.padded@1", "area")
+    pla_area = attrdb.get("shifter.pla.padded@1", "area")
+    print(f"standard-cell area: {sc_area:8.0f}")
+    print(f"PLA area:           {pla_area:8.0f}")
+    winner_is_pla = pla_area < sc_area
+    print(f"winner: {'PLA' if winner_is_pla else 'standard cell'}\n")
+
+    # Visibility: each branch sees only its own alternative.
+    print("On the PLA branch, shifter.sc.padded visible?",
+          thread.is_visible("shifter.sc.padded"))
+    designer.move_cursor(p4)
+    print("On the SC branch, shifter.pla visible?    ",
+          thread.is_visible("shifter.pla"))
+    print()
+
+    # Erase the losing branch (Fig 3.6's erase-on-rework).
+    if winner_is_pla:
+        designer.move_cursor(p2, erase=True)   # erases the SC work below p2
+        designer.move_cursor(p6)
+    print("Control stream after erasing the losing branch:")
+    print(render_stream(thread.stream, cursor=thread.current_cursor))
+    print()
+    print("Deleted object versions are tombstoned, reclaimable later:")
+    print("  shifter.sc deleted? ", papyrus.db.is_deleted("shifter.sc@1"))
+    reclaimed = papyrus.db.reclaim()
+    print(f"  reclaimed {len(reclaimed)} object versions")
+
+
+if __name__ == "__main__":
+    main()

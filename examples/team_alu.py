@@ -1,0 +1,96 @@
+"""Cooperative group work — Figs 3.10 / 3.11.
+
+Two designers develop an arithmetic unit and a shifter in separate design
+threads.  They share cells through a synchronization data space with
+predicate-filtered change notification; when both modules are done, their
+threads are *joined* into a single ALU thread whose combined history behaves
+as if it had been built from scratch.  A third colleague monitors one thread
+read-only via thread import.
+
+Run:  python examples/team_alu.py
+"""
+
+from repro import Papyrus
+from repro.activity import ActivityManager
+from repro.activity.viewport import render_stream
+from repro.core.sds import attr_improved
+from repro.core.thread_ops import join
+
+
+def main() -> None:
+    papyrus = Papyrus.standard(hosts=4)
+
+    randy = papyrus.open_thread("arith-unit", owner="randy")
+    mary = papyrus.open_thread("shifter-unit", owner="mary")
+    sds = papyrus.lwt.create_sds("module-exchange",
+                                 [randy.thread, mary.thread])
+
+    # Randy builds the arithmetic unit.
+    randy.invoke("Create_Logic_Description", {"Spec": "adder.spec"},
+                 {"Outcell": "arith.logic"})
+    randy.invoke("Standard_Cell_PR", {"Incell": "arith.logic"},
+                 {"Outcell": "arith.layout"})
+
+    # Mary builds the shifter.
+    mary.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                {"Outcell": "shift.logic"})
+    mary.invoke("Standard_Cell_PR", {"Incell": "shift.logic"},
+                {"Outcell": "shift.layout"})
+
+    # Randy publishes his layout; Mary retrieves it, asking to be notified
+    # only when a *smaller* version shows up (the thesis's predicate filter).
+    sds.contribute(randy.thread, "arith.layout")
+    sds.retrieve(
+        mary.thread, "arith.layout",
+        predicates=(attr_improved(lambda obj: float(obj.payload.area)),),
+    )
+    print("Mary can now see arith.layout:",
+          mary.thread.is_visible("arith.layout"))
+
+    # Randy improves his layout and re-publishes: notification fires only
+    # because the new version is actually smaller.
+    randy.invoke("Standard_Cell_PR", {"Incell": "arith.logic"},
+                 {"Outcell": "arith.layout"})
+    fresh = papyrus.db.get("arith.layout")
+    sds.contribute(randy.thread, str(fresh.name))
+    print(f"notifications to Mary's thread: {len(mary.thread.notifications)}")
+    for note in mary.thread.notifications:
+        print(f"  -> {note.message}")
+    print(f"suppressed by predicates: {sds.notifications_suppressed}\n")
+
+    # A colleague monitors Randy's thread read-only (thread import).
+    john = papyrus.open_thread("john-scratch", owner="john")
+    john.thread.import_thread(randy.thread)
+    print("John monitors randy's workspace (read-only):")
+    for name in sorted(john.thread.imported_workspace("arith-unit")):
+        print(f"  {name}")
+    print("...but cannot access the objects:",
+          not john.thread.is_visible("arith.layout"))
+    print()
+
+    # Both modules done: join the threads at their frontiers into ALU.
+    alu_thread = join(randy.thread, mary.thread, "ALU")
+    papyrus.lwt.adopt_thread(alu_thread)
+    alu = ActivityManager(alu_thread, papyrus.taskmgr)
+    papyrus.activities["ALU"] = alu
+    print("Joined ALU thread sees both modules:")
+    print("  arith.layout visible?", alu_thread.is_visible("arith.layout"))
+    print("  shift.layout visible?", alu_thread.is_visible("shift.layout"))
+
+    # Continue development on the combined thread.
+    alu.invoke("Padp", {"Incell": "arith.layout"}, {"Outcell": "alu.padded"})
+    print()
+    print("ALU thread control stream (junction = the join point):")
+    print(render_stream(alu_thread.stream, cursor=alu_thread.current_cursor))
+
+    # The originals continue independently: new work in randy's thread is
+    # invisible to the ALU thread and vice versa.
+    randy.invoke("Padp", {"Incell": "arith.layout"},
+                 {"Outcell": "arith.private"})
+    print()
+    print("Post-join isolation: arith.private visible in ALU thread?",
+          alu_thread.is_visible("arith.private"))
+
+
+if __name__ == "__main__":
+    main()

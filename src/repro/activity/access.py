@@ -1,0 +1,38 @@
+"""Random access to the design history (§5.2).
+
+Temporal access is hour-resolution: an index maps each hour bucket to the
+first history record recorded within it.  Given an hour, the first record in
+that hour is returned if one exists, else the next closest record after it.
+Annotation access is exact-match on record annotations.
+"""
+
+from __future__ import annotations
+
+
+class HourIndex:
+    """Hour bucket → first design point recorded in that hour."""
+
+    def __init__(self):
+        self._first_in_hour: dict[int, tuple[float, int]] = {}
+
+    def add(self, point: int, recorded_at: float) -> None:
+        hour = int(recorded_at // 3600)
+        current = self._first_in_hour.get(hour)
+        if current is None or (recorded_at, point) < current:
+            self._first_in_hour[hour] = (recorded_at, point)
+
+    def remove(self, point: int) -> None:
+        for hour, (_, p) in list(self._first_in_hour.items()):
+            if p == point:
+                del self._first_in_hour[hour]
+
+    def lookup(self, when: float) -> int | None:
+        """First design point at or after ``when``'s hour."""
+        wanted = int(when // 3600)
+        hours = sorted(h for h in self._first_in_hour if h >= wanted)
+        if not hours:
+            return None
+        return self._first_in_hour[hours[0]][1]
+
+    def hours(self) -> list[int]:
+        return sorted(self._first_in_hour)

@@ -1,0 +1,192 @@
+"""Persistent design history (§5.3's third data structure).
+
+The thesis keeps a persistent copy of the control streams for inter-process
+communication (the reclaimer runs as a separate process) and to survive
+session restarts.  Here the whole LWT state — threads with their control
+streams, cursors, checked-in objects, annotations, and the SDS registry —
+serializes to one JSON document next to the database snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.control_stream import INITIAL_POINT, ControlStream
+from repro.core.history import HistoryRecord, StepRecord
+from repro.core.lwt import LWTSystem
+from repro.core.thread import DesignThread
+from repro.errors import ThreadError
+from repro.octdb.persistence import load_database, save_database
+
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------- records
+
+
+def record_to_dict(record: HistoryRecord) -> dict:
+    return {
+        "task": record.task,
+        "inputs": list(record.inputs),
+        "outputs": list(record.outputs),
+        "steps": [
+            {
+                "name": s.name, "tool": s.tool, "options": list(s.options),
+                "inputs": list(s.inputs), "outputs": list(s.outputs),
+                "host": s.host, "started_at": s.started_at,
+                "completed_at": s.completed_at, "status": s.status,
+            }
+            for s in record.steps
+        ],
+        "recorded_at": record.recorded_at,
+        "annotation": record.annotation,
+        "instance": record.instance,
+        "abstracted": record.abstracted,
+    }
+
+
+def record_from_dict(data: dict) -> HistoryRecord:
+    record = HistoryRecord(
+        task=data["task"],
+        inputs=tuple(data["inputs"]),
+        outputs=tuple(data["outputs"]),
+        steps=tuple(
+            StepRecord(
+                name=s["name"], tool=s["tool"], options=tuple(s["options"]),
+                inputs=tuple(s["inputs"]), outputs=tuple(s["outputs"]),
+                host=s["host"], started_at=s["started_at"],
+                completed_at=s["completed_at"], status=s["status"],
+            )
+            for s in data["steps"]
+        ),
+        recorded_at=data["recorded_at"],
+        annotation=data.get("annotation", ""),
+    )
+    record.instance = data["instance"]
+    record.abstracted = data.get("abstracted", False)
+    return record
+
+
+# ------------------------------------------------------------ control stream
+
+
+def stream_to_dict(stream: ControlStream) -> dict:
+    nodes = []
+    for point in stream.points():
+        node = stream.node(point)
+        nodes.append({
+            "number": node.number,
+            "record": (record_to_dict(node.record)
+                       if node.record is not None else None),
+            "parents": list(node.parents),
+            "children": list(node.children),
+        })
+    return {"nodes": nodes, "next": stream._next}
+
+
+def stream_from_dict(data: dict) -> ControlStream:
+    stream = ControlStream()
+    stream._nodes.clear()
+    for nd in data["nodes"]:
+        from repro.core.control_stream import RecordNode
+
+        node = RecordNode(
+            number=nd["number"],
+            record=(record_from_dict(nd["record"])
+                    if nd["record"] is not None else None),
+            parents=list(nd["parents"]),
+            children=list(nd["children"]),
+        )
+        stream._nodes[node.number] = node
+    stream._next = data["next"]
+    if INITIAL_POINT not in stream._nodes:
+        raise ThreadError("persisted stream lacks the initial design point")
+    return stream
+
+
+# ----------------------------------------------------------------- threads
+
+
+def thread_to_dict(thread: DesignThread) -> dict:
+    return {
+        "name": thread.name,
+        "owner": thread.owner,
+        "stream": stream_to_dict(thread.stream),
+        "current_cursor": thread.current_cursor,
+        "extra_objects": sorted(thread.extra_objects),
+        "point_access": {str(k): v for k, v in thread.point_access.items()},
+        "imports": sorted(thread.imports),
+    }
+
+
+def thread_from_dict(data: dict, lwt: LWTSystem) -> DesignThread:
+    thread = lwt.create_thread(data["name"], owner=data.get("owner", ""))
+    thread.stream = stream_from_dict(data["stream"])
+    thread.scope.stream = thread.stream
+    thread.current_cursor = data["current_cursor"]
+    thread.extra_objects = set(data.get("extra_objects", ()))
+    thread.point_access = {
+        int(k): v for k, v in data.get("point_access", {}).items()
+    }
+    return thread
+
+
+# ------------------------------------------------------------------ system
+
+
+def save_system(lwt: LWTSystem, directory: str | Path) -> Path:
+    """Persist a whole LWT installation (database + threads + SDS links)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_database(lwt.db, directory / "database.json")
+    doc: dict[str, Any] = {
+        "format": FORMAT_VERSION,
+        "now": lwt.clock.now,
+        "threads": [thread_to_dict(t) for t in lwt.threads.values()],
+        "spaces": [
+            {
+                "name": sds.name,
+                "objects": sorted(sds.objects()),
+                "members": sorted(
+                    t.name for t in sds._threads.values()
+                ),
+            }
+            for sds in lwt.spaces.values()
+        ],
+    }
+    (directory / "history.json").write_text(json.dumps(doc, indent=1))
+    return directory
+
+
+def load_system(directory: str | Path, lwt: LWTSystem | None = None) -> LWTSystem:
+    """Restore an installation saved by :func:`save_system`.
+
+    Import links and notification flags are session state in the thesis and
+    are not persisted; everything else (streams, cursors, SDS contents and
+    memberships) round-trips.
+    """
+    directory = Path(directory)
+    lwt = lwt if lwt is not None else LWTSystem()
+    load_database(directory / "database.json", lwt.db)
+    doc = json.loads((directory / "history.json").read_text())
+    if doc.get("format") != FORMAT_VERSION:
+        raise ThreadError(
+            f"unsupported history format {doc.get('format')!r}"
+        )
+    lwt.clock.advance_to(doc.get("now", 0.0))
+    for thread_doc in doc["threads"]:
+        thread_from_dict(thread_doc, lwt)
+    for sds_doc in doc["spaces"]:
+        sds = lwt.create_sds(sds_doc["name"])
+        sds._objects.update(sds_doc["objects"])
+        for member in sds_doc["members"]:
+            if member in lwt.threads:
+                sds.register(lwt.threads[member])
+    for thread_doc in doc["threads"]:
+        thread = lwt.threads[thread_doc["name"]]
+        for import_name in thread_doc.get("imports", ()):
+            if import_name in lwt.threads:
+                thread.import_thread(lwt.threads[import_name])
+    return lwt

@@ -1,0 +1,23 @@
+"""Baseline process-support systems (thesis Ch. 2).
+
+Runnable miniatures of the systems Papyrus is compared against in Table I:
+VOV (flat trace database + retracing), UNIX make (timestamp rebuild), and
+PowerFrame (graph templates with and/or/xor edge operators).  They exist so
+the Table I feature matrix is derived from *executable capability probes*
+rather than asserted, and so the rebuild/rework comparison benches have real
+comparators.
+"""
+
+from repro.baselines.vov import VovManager, Trace
+from repro.baselines.makefile import Make, Rule
+from repro.baselines.powerframe import PowerFrame, Template, TemplateNode
+
+__all__ = [
+    "Make",
+    "PowerFrame",
+    "Rule",
+    "Template",
+    "TemplateNode",
+    "Trace",
+    "VovManager",
+]

@@ -1,0 +1,86 @@
+"""A UNIX-make baseline: timestamp-driven rebuild over explicit rules.
+
+The thesis positions derivation history as "what make needs, deduced
+automatically"; this baseline is the thing users would otherwise write by
+hand.  Rules carry an action callback; ``build`` re-runs a rule iff any
+dependency is newer than the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clock import GLOBAL_CLOCK, VirtualClock
+from repro.errors import PapyrusError
+
+Action = Callable[[dict[str, Any]], Any]
+
+
+@dataclass
+class Rule:
+    target: str
+    deps: tuple[str, ...]
+    action: Action
+    description: str = ""
+
+
+class Make:
+    """Timestamped store + rules."""
+
+    def __init__(self, clock: VirtualClock | None = None):
+        self.clock = clock or GLOBAL_CLOCK
+        self.rules: dict[str, Rule] = {}
+        self.store: dict[str, Any] = {}
+        self.mtimes: dict[str, float] = {}
+        self.actions_run = 0
+
+    def rule(self, target: str, deps: list[str], action: Action,
+             description: str = "") -> Rule:
+        rule = Rule(target=target, deps=tuple(deps), action=action,
+                    description=description)
+        self.rules[target] = rule
+        return rule
+
+    def touch(self, name: str, payload: Any) -> None:
+        """Create or modify a source file."""
+        self.store[name] = payload
+        self.mtimes[name] = self.clock.now
+
+    def outdated(self, target: str) -> bool:
+        rule = self.rules.get(target)
+        if rule is None:
+            if target not in self.store:
+                raise PapyrusError(f"no rule to make target {target!r}")
+            return False
+        if target not in self.store:
+            return True
+        target_time = self.mtimes.get(target, -1.0)
+        return any(
+            self.mtimes.get(dep, float("inf")) > target_time
+            or self.outdated(dep)
+            for dep in rule.deps
+        )
+
+    def build(self, target: str) -> list[str]:
+        """Bring a target up to date; returns the targets rebuilt, in order."""
+        rebuilt: list[str] = []
+
+        def visit(name: str) -> None:
+            rule = self.rules.get(name)
+            if rule is None:
+                if name not in self.store:
+                    raise PapyrusError(f"no rule to make target {name!r}")
+                return
+            for dep in rule.deps:
+                visit(dep)
+            if not self.outdated(name):
+                return
+            self.store[name] = rule.action(self.store)
+            self.clock.advance(0.001)  # rebuild gets a fresh timestamp
+            self.mtimes[name] = self.clock.now
+            self.actions_run += 1
+            rebuilt.append(name)
+
+        visit(target)
+        return rebuilt

@@ -1,0 +1,142 @@
+"""A PowerFrame miniature (§2.2.1, Fig 2.1).
+
+PowerFrame automates routine tool sequences through stored *templates*:
+annotated directed graphs whose edges carry ``and`` / ``or`` / ``xor``
+operators and priorities, plus a ``loop`` process operator.  Data management
+offers *workspaces* (private/group), *filters* and *configurations*.  What it
+lacks — history tied to versions, exploration support, distribution — is what
+Table I records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.errors import PapyrusError
+
+Action = Callable[[dict[str, Any]], Any]
+#: For ``or`` edges: which successors to take (default: all of them).
+Chooser = Callable[[str, list[str]], list[str]]
+
+
+@dataclass
+class TemplateNode:
+    """One tool invocation in a template."""
+
+    name: str
+    action: Action
+    #: Loop operator: iterate the action over the context list named here.
+    loop_over: str | None = None
+
+
+@dataclass
+class _EdgeGroup:
+    operator: str                       # "and" | "or" | "xor"
+    successors: list[tuple[str, int]]   # (node, priority)
+
+
+@dataclass
+class Template:
+    """An annotated directed graph of tool invocations."""
+
+    name: str
+    nodes: dict[str, TemplateNode] = field(default_factory=dict)
+    edges: dict[str, _EdgeGroup] = field(default_factory=dict)
+    start: str | None = None
+
+    def node(self, name: str, action: Action,
+             loop_over: str | None = None) -> "Template":
+        self.nodes[name] = TemplateNode(name, action, loop_over)
+        if self.start is None:
+            self.start = name
+        return self
+
+    def edge(self, source: str, operator: str,
+             successors: list[tuple[str, int]]) -> "Template":
+        if operator not in ("and", "or", "xor"):
+            raise PapyrusError(f"unknown edge operator {operator!r}")
+        self.edges[source] = _EdgeGroup(operator, list(successors))
+        return self
+
+
+class PowerFrame:
+    """Template storage plus the instantiation engine and data services."""
+
+    def __init__(self):
+        self.templates: dict[str, Template] = {}
+        #: workspace name -> {object name -> payload}
+        self.workspaces: dict[str, dict[str, Any]] = {"group": {}}
+
+    # -------------------------------------------------------------- templates
+
+    def store(self, template: Template) -> Template:
+        self.templates[template.name] = template
+        return template
+
+    def instantiate(
+        self,
+        name: str,
+        context: dict[str, Any],
+        chooser: Chooser | None = None,
+    ) -> list[str]:
+        """Run a stored template; returns the node execution order.
+
+        ``xor`` takes the highest-priority successor, ``and`` takes all,
+        ``or`` consults the chooser (all by default).
+        """
+        template = self.templates.get(name)
+        if template is None:
+            raise PapyrusError(f"no template named {name!r}")
+        executed: list[str] = []
+        frontier = [template.start] if template.start else []
+        while frontier:
+            node_name = frontier.pop(0)
+            if node_name in executed:
+                continue
+            node = template.nodes[node_name]
+            if node.loop_over is not None:
+                for element in context.get(node.loop_over, ()):
+                    scoped = dict(context)
+                    scoped["element"] = element
+                    node.action(scoped)
+            else:
+                node.action(context)
+            executed.append(node_name)
+            group = template.edges.get(node_name)
+            if group is None:
+                continue
+            ordered = sorted(group.successors, key=lambda s: -s[1])
+            names = [s for s, _ in ordered]
+            if group.operator == "xor":
+                frontier.extend(names[:1])
+            elif group.operator == "and":
+                frontier.extend(names)
+            else:  # "or"
+                chosen = chooser(node_name, names) if chooser else names
+                frontier.extend(chosen)
+        return executed
+
+    # ---------------------------------------------------------- data services
+
+    def private_workspace(self, user: str) -> dict[str, Any]:
+        return self.workspaces.setdefault(user, {})
+
+    def publish(self, user: str, name: str) -> None:
+        """Move an object from a private workspace to the group workspace."""
+        workspace = self.private_workspace(user)
+        if name not in workspace:
+            raise PapyrusError(f"{user} has no object {name!r}")
+        self.workspaces["group"][name] = workspace[name]
+
+    @staticmethod
+    def filter(module: dict[str, Any], view: str) -> Any:
+        """A filter returns a selective part of a module."""
+        if view not in module:
+            raise PapyrusError(f"module has no view {view!r}")
+        return module[view]
+
+    @staticmethod
+    def configuration(bindings: dict[str, Any]) -> dict[str, Any]:
+        """A configuration binds together components of a design entity."""
+        return dict(bindings)

@@ -1,0 +1,126 @@
+"""A Ulysses miniature (§2.2.3): blackboard-based tool execution control.
+
+Ulysses models CAD tools (and designers) as *knowledge sources* with
+precondition patterns, conflict-resolution parameters and an execution
+method.  Facts (files/goals) live on a global blackboard; a scheduler picks
+among activated knowledge sources by priority.  The thesis's critique — the
+designer is "just another knowledge source", no history, no data/process
+coupling — is what the comparison benches lean on; this miniature is big
+enough to show both the mechanism and the gaps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PapyrusError
+
+#: An execution method: given the blackboard facts, returns new facts.
+Method = Callable[[dict[str, Any]], dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class KnowledgeSource:
+    """One knowledge source: preconditions, conflict parameters, a method."""
+
+    name: str
+    preconditions: tuple[str, ...]      # fact names that must be present
+    produces: tuple[str, ...]           # fact names the method asserts
+    method: Method
+    priority: int = 0                   # conflict-resolution parameter
+    computing_effort: int = 50          # informational (as in Cadweld frames)
+
+    def activated(self, facts: dict[str, Any]) -> bool:
+        return all(p in facts for p in self.preconditions) and \
+            not all(p in facts for p in self.produces)
+
+
+class Blackboard:
+    """The global fact store plus the match-select-fire inference loop."""
+
+    def __init__(self):
+        self.facts: dict[str, Any] = {}
+        self.sources: list[KnowledgeSource] = []
+        self.firings: list[str] = []
+
+    def register(self, source: KnowledgeSource) -> KnowledgeSource:
+        self.sources.append(source)
+        return source
+
+    def post(self, fact: str, value: Any = True) -> None:
+        """Post a fact (a design goal or a produced file)."""
+        self.facts[fact] = value
+
+    def _scheduler(self, candidates: list[KnowledgeSource]) -> KnowledgeSource:
+        """The special scheduler KS: rank volunteers, fire the best."""
+        return max(candidates, key=lambda s: (s.priority, -s.computing_effort,
+                                              s.name))
+
+    def step(self) -> str | None:
+        """One match-select-fire cycle; returns the fired KS name or None."""
+        candidates = [s for s in self.sources if s.activated(self.facts)]
+        if not candidates:
+            return None
+        chosen = self._scheduler(candidates)
+        new_facts = chosen.method(dict(self.facts))
+        for name, value in new_facts.items():
+            self.facts[name] = value
+        for name in chosen.produces:
+            self.facts.setdefault(name, True)
+        self.firings.append(chosen.name)
+        return chosen.name
+
+    def run(self, goal: str, max_cycles: int = 100) -> list[str]:
+        """Fire until the goal fact appears (or nothing can fire)."""
+        cycles = 0
+        while goal not in self.facts:
+            if cycles >= max_cycles:
+                raise PapyrusError(
+                    f"blackboard did not reach goal {goal!r} in "
+                    f"{max_cycles} cycles"
+                )
+            if self.step() is None:
+                raise PapyrusError(
+                    f"no knowledge source can advance toward {goal!r}"
+                )
+            cycles += 1
+        return list(self.firings)
+
+
+def standard_flow() -> Blackboard:
+    """The synthesis flow as Ulysses would express it: one KS per tool.
+
+    Demonstrates the open-integration claim (add/remove a KS without
+    touching the others) and, by omission, everything Table I says Ulysses
+    lacks: history, versions, context, cooperation.
+    """
+    from repro.cad import default_registry
+    from repro.cad.registry import ToolCall
+
+    registry = default_registry()
+
+    def run_tool(tool: str, in_fact: str, out_fact: str):
+        def method(facts: dict[str, Any]) -> dict[str, Any]:
+            call = ToolCall(tool, inputs=(facts[in_fact],),
+                            output_names=("out",))
+            result = registry.run(call)
+            if not result.ok:
+                raise PapyrusError(result.log)
+            return {out_fact: result.outputs["out"]}
+        return method
+
+    board = Blackboard()
+    board.register(KnowledgeSource(
+        "compile-ks", ("spec",), ("netlist",),
+        run_tool("bdsyn", "spec", "netlist"), priority=5))
+    board.register(KnowledgeSource(
+        "optimize-ks", ("netlist",), ("logic",),
+        run_tool("misII", "netlist", "logic"), priority=4))
+    board.register(KnowledgeSource(
+        "layout-ks", ("logic",), ("layout",),
+        run_tool("wolfe", "logic", "layout"), priority=3))
+    board.register(KnowledgeSource(
+        "stats-ks", ("layout",), ("report",),
+        run_tool("chipstats", "layout", "report"), priority=2))
+    return board

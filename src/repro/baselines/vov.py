@@ -1,0 +1,109 @@
+"""The VOV automatic design manager (§2.2.2), miniaturized.
+
+VOV's central abstraction is the *trace*: a flat, project-wide bipartite
+record of tool invocations and the files they read and wrote.  When a file is
+modified, *retracing* consults the trace database, computes the affected set,
+and re-runs the associated tool invocations **updating objects in place** —
+no versioning, no branching history, no per-entity context.  Those omissions
+are exactly what Table I charges VOV with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import PapyrusError
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One recorded tool invocation."""
+
+    tool: str
+    options: tuple[str, ...]
+    inputs: tuple[str, ...]
+    outputs: tuple[str, ...]
+
+
+#: A runner re-executes one trace given current object values; returns the
+#: new output payloads by name.
+Runner = Callable[[Trace, dict[str, Any]], dict[str, Any]]
+
+
+class VovManager:
+    """A flat (non-hierarchical) trace database over an in-place store."""
+
+    def __init__(self):
+        self.store: dict[str, Any] = {}      # name -> payload, in place
+        self.traces: list[Trace] = []        # one flat project-wide list
+        self._producer: dict[str, Trace] = {}
+        self.retraced: int = 0               # invocations re-run so far
+
+    # ------------------------------------------------------------- recording
+
+    def write(self, name: str, payload: Any) -> None:
+        """In-place update (VOV has no version history)."""
+        self.store[name] = payload
+
+    def record(self, trace: Trace, outputs: dict[str, Any]) -> None:
+        """Record a completed tool invocation and its outputs."""
+        self.traces.append(trace)
+        for name in trace.outputs:
+            self._producer[name] = trace
+            self.store[name] = outputs[name]
+
+    # -------------------------------------------------------------- queries
+
+    def affected_set(self, changed: str) -> list[str]:
+        affected: list[str] = []
+        seen: set[str] = set()
+        frontier = [changed]
+        while frontier:
+            current = frontier.pop()
+            for trace in self.traces:
+                if current not in trace.inputs:
+                    continue
+                for out in trace.outputs:
+                    if out not in seen:
+                        seen.add(out)
+                        affected.append(out)
+                        frontier.append(out)
+        return sorted(affected)
+
+    def example_traces(self, tool: str) -> list[Trace]:
+        """VOV's learning-from-examples aid: past invocations of a tool."""
+        return [t for t in self.traces if t.tool == tool]
+
+    # ------------------------------------------------------------- retracing
+
+    def retrace(self, changed: str, new_payload: Any, runner: Runner) -> list[str]:
+        """Re-establish consistency after ``changed`` is modified.
+
+        Re-runs affected invocations in dependency order, updating outputs in
+        place.  Returns the regenerated object names.
+        """
+        self.write(changed, new_payload)
+        affected = set(self.affected_set(changed))
+        regenerated: list[str] = []
+        done: set[str] = set()
+
+        def rebuild(name: str) -> None:
+            if name in done or name not in affected:
+                return
+            trace = self._producer.get(name)
+            if trace is None:
+                raise PapyrusError(f"no trace produced {name!r}")
+            for parent in trace.inputs:
+                rebuild(parent)
+            for out in trace.outputs:
+                done.add(out)
+            outputs = runner(trace, self.store)
+            self.retraced += 1
+            for out, payload in outputs.items():
+                self.store[out] = payload
+                regenerated.append(out)
+
+        for name in sorted(affected):
+            rebuild(name)
+        return regenerated

@@ -1,0 +1,40 @@
+"""Synthetic but functional CAD tool suite.
+
+Papyrus treats CAD tools as black boxes with inputs, outputs, command options
+and an exit status.  This package provides a suite of tools that mirror the
+Berkeley OCT tools named in the thesis (bdsyn, misII, espresso, pleasure,
+wolfe, padplace, the Mosaico pipeline, musa, chipstats...) but operate on
+synthetic in-memory design data.  The tools do real work — a Quine–McCluskey
+minimizer, levelized simulation, greedy placement, left-edge channel routing —
+so that object attributes (area, delay, minterm counts) are genuinely
+computed, failures genuinely happen, and the metadata-inference layer has real
+semantics to describe.
+"""
+
+from repro.cad.logic import BehavioralSpec, BooleanNetwork, Cover, Cube
+from repro.cad.layout import Layout
+from repro.cad.registry import Tool, ToolResult, ToolRegistry, default_registry
+
+__all__ = [
+    "BehavioralSpec",
+    "BooleanNetwork",
+    "Cover",
+    "Cube",
+    "Layout",
+    "Tool",
+    "ToolResult",
+    "ToolRegistry",
+    "default_registry",
+]
+
+# Register payload codecs so CAD objects survive database persistence.
+from repro.cad.layout import Report
+from repro.cad.logic import Pla
+from repro.octdb.persistence import register_payload_codec
+
+register_payload_codec(BehavioralSpec, "cad.spec")
+register_payload_codec(BooleanNetwork, "cad.network")
+register_payload_codec(Cover, "cad.cover")
+register_payload_codec(Pla, "cad.pla")
+register_payload_codec(Layout, "cad.layout")
+register_payload_codec(Report, "cad.report")

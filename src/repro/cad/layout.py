@@ -1,0 +1,244 @@
+"""Physical-level design representations.
+
+A :class:`Layout` carries placed cells and routed nets through the physical
+pipeline (placement → routing → via minimization → pads → compaction).  Each
+tool returns a *new* layout with its ``stage`` advanced — single-assignment
+updates reach all the way down into the substrate.  :class:`Report` holds the
+textual by-products (chipstats, power reports, simulation logs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A placed rectangle."""
+
+    name: str
+    width: int
+    height: int
+    x: int = 0
+    y: int = 0
+
+    @property
+    def area(self) -> int:
+        return self.width * self.height
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "width": self.width, "height": self.height,
+            "x": self.x, "y": self.y,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Cell":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class Net:
+    """A signal net connecting named cells (pin detail abstracted away)."""
+
+    name: str
+    terminals: tuple[str, ...]
+    track: int | None = None   # assigned by channel routing
+    vias: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name, "terminals": list(self.terminals),
+            "track": self.track, "vias": self.vias,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Net":
+        return cls(
+            name=data["name"], terminals=tuple(data["terminals"]),
+            track=data.get("track"), vias=data.get("vias", 0),
+        )
+
+
+#: Ordered pipeline stages a layout moves through.
+STAGES = (
+    "placed", "channels-defined", "globally-routed", "detail-routed",
+    "via-minimized", "padded", "compacted", "abstracted", "verified",
+)
+
+
+@dataclass
+class Layout:
+    """A physical layout at some stage of the back-end pipeline."""
+
+    name: str
+    style: str                      # "standard-cell", "pla", "macro"
+    cells: list[Cell] = field(default_factory=list)
+    nets: list[Net] = field(default_factory=list)
+    stage: str = "placed"
+    has_pads: bool = False
+    tracks_used: int = 0
+    meta: dict = field(default_factory=dict)   # tool-deposited facts
+
+    def __post_init__(self):
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown layout stage {self.stage!r}")
+
+    # -- geometric metrics
+
+    def bounding_box(self) -> tuple[int, int]:
+        if not self.cells:
+            return (0, 0)
+        w = max(c.x + c.width for c in self.cells)
+        h = max(c.y + c.height for c in self.cells)
+        # Routing tracks sit above the cell rows.
+        return (w, h + self.tracks_used)
+
+    @property
+    def area(self) -> int:
+        w, h = self.bounding_box()
+        return w * h
+
+    @property
+    def cell_area(self) -> int:
+        return sum(c.area for c in self.cells)
+
+    def wirelength(self) -> int:
+        """Half-perimeter wirelength over placed terminals."""
+        pos = {c.name: (c.x + c.width // 2, c.y + c.height // 2) for c in self.cells}
+        total = 0
+        for net in self.nets:
+            points = [pos[t] for t in net.terminals if t in pos]
+            if len(points) < 2:
+                continue
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            total += (max(xs) - min(xs)) + (max(ys) - min(ys))
+        return total
+
+    @property
+    def via_count(self) -> int:
+        return sum(net.vias for net in self.nets)
+
+    def critical_delay(self) -> float:
+        """Crude Elmore-flavoured delay: logic depth carried in meta plus a
+        wire term proportional to the longest net span."""
+        depth = self.meta.get("logic_depth", 1)
+        longest = 0
+        pos = {c.name: (c.x, c.y) for c in self.cells}
+        for net in self.nets:
+            points = [pos[t] for t in net.terminals if t in pos]
+            if len(points) < 2:
+                continue
+            xs = [p[0] for p in points]
+            ys = [p[1] for p in points]
+            span = (max(xs) - min(xs)) + (max(ys) - min(ys))
+            longest = max(longest, span)
+        return depth * 1.0 + 0.05 * longest + 0.2 * self.via_count
+
+    def power_estimate(self) -> float:
+        """Switching-capacitance proxy: cell area plus wire load."""
+        return 0.01 * self.cell_area + 0.002 * self.wirelength()
+
+    def size_estimate(self) -> int:
+        return 64 + 24 * len(self.cells) + 16 * len(self.nets)
+
+    def advanced(self, stage: str, **meta) -> "Layout":
+        """A copy of this layout at a later pipeline stage."""
+        new_meta = dict(self.meta)
+        new_meta.update(meta)
+        return Layout(
+            name=self.name,
+            style=self.style,
+            cells=list(self.cells),
+            nets=list(self.nets),
+            stage=stage,
+            has_pads=self.has_pads,
+            tracks_used=self.tracks_used,
+            meta=new_meta,
+        )
+
+    # -- persistence
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "style": self.style,
+            "cells": [c.to_dict() for c in self.cells],
+            "nets": [n.to_dict() for n in self.nets],
+            "stage": self.stage,
+            "has_pads": self.has_pads,
+            "tracks_used": self.tracks_used,
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Layout":
+        return cls(
+            name=data["name"],
+            style=data["style"],
+            cells=[Cell.from_dict(c) for c in data["cells"]],
+            nets=[Net.from_dict(n) for n in data["nets"]],
+            stage=data["stage"],
+            has_pads=data["has_pads"],
+            tracks_used=data["tracks_used"],
+            meta=dict(data["meta"]),
+        )
+
+
+@dataclass(frozen=True)
+class Report:
+    """A textual tool by-product (chipstats, power report, simulation log)."""
+
+    kind: str
+    text: str
+    values: tuple[tuple[str, float], ...] = ()
+
+    def value(self, key: str, default: float | None = None) -> float:
+        for k, v in self.values:
+            if k == key:
+                return v
+        if default is None:
+            raise KeyError(key)
+        return default
+
+    def size_estimate(self) -> int:
+        return len(self.text) + 16 * len(self.values)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind, "text": self.text,
+            "values": [list(v) for v in self.values],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Report":
+        return cls(
+            kind=data["kind"], text=data["text"],
+            values=tuple((k, v) for k, v in data["values"]),
+        )
+
+
+def left_edge_tracks(intervals: list[tuple[int, int]]) -> list[int]:
+    """Left-edge channel routing: assign each horizontal interval a track so
+    that overlapping intervals never share one.  Returns the per-interval
+    track indices (the classic greedy algorithm, optimal for this problem).
+    """
+    order = sorted(range(len(intervals)), key=lambda i: intervals[i])
+    track_right_ends: list[int] = []
+    assignment = [0] * len(intervals)
+    for idx in order:
+        left, right = intervals[idx]
+        if right < left:
+            left, right = right, left
+        placed = False
+        for track, end in enumerate(track_right_ends):
+            if end < left:
+                track_right_ends[track] = right
+                assignment[idx] = track
+                placed = True
+                break
+        if not placed:
+            track_right_ends.append(right)
+            assignment[idx] = len(track_right_ends) - 1
+    return assignment

@@ -1,0 +1,165 @@
+"""Tool registry: the boundary between Papyrus and the CAD tools.
+
+Papyrus only ever sees tools through this interface — a name, option strings,
+ordered input payloads, expected output names, an exit status.  That is the
+"open architecture" premise of the thesis: swapping one tool for a
+functionally equivalent one must not disturb the layers above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import ToolError, ToolUsageError
+
+
+@dataclass(frozen=True)
+class ToolCall:
+    """One invocation request, as assembled by the task manager."""
+
+    tool: str
+    options: tuple[str, ...] = ()
+    inputs: tuple[Any, ...] = ()
+    input_names: tuple[str, ...] = ()
+    output_names: tuple[str, ...] = ()
+
+    def input(self, index: int = 0) -> Any:
+        if index >= len(self.inputs):
+            raise ToolUsageError(self.tool, f"missing input #{index}")
+        return self.inputs[index]
+
+    def has_flag(self, flag: str) -> bool:
+        return flag in self.options
+
+    def option_value(self, flag: str, default: str | None = None) -> str | None:
+        """Value following the *last* occurrence of ``flag``, e.g. ``-r 2``.
+
+        Last-wins so that user/restart option overrides appended after the
+        template defaults take effect (§4.3.1's "New Options" behaviour).
+        """
+        value = default
+        opts = self.options
+        for i, opt in enumerate(opts):
+            if opt == flag and i + 1 < len(opts):
+                value = opts[i + 1]
+        return value
+
+
+@dataclass
+class ToolResult:
+    """Outcome of one tool invocation."""
+
+    status: int = 0
+    outputs: dict[str, Any] = field(default_factory=dict)
+    log: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+
+ToolFunc = Callable[[ToolCall], ToolResult]
+CostFunc = Callable[[ToolCall], float]
+
+
+def _default_cost(call: ToolCall) -> float:
+    size = sum(_payload_size(p) for p in call.inputs)
+    return 1.0 + size / 256.0
+
+
+def _payload_size(payload: Any) -> int:
+    probe = getattr(payload, "size_estimate", None)
+    if callable(probe):
+        return int(probe())
+    if isinstance(payload, str):
+        return len(payload)
+    return 8
+
+
+@dataclass(frozen=True)
+class Tool:
+    """A registered CAD tool."""
+
+    name: str
+    func: ToolFunc
+    description: str = ""
+    interactive: bool = False
+    migratable: bool = True
+    cost: CostFunc = _default_cost
+    man_page: str = ""
+
+    def estimate_runtime(self, call: ToolCall) -> float:
+        return max(0.05, self.cost(call))
+
+
+class ToolRegistry:
+    """Name → tool map plus the single entry point for running tools."""
+
+    def __init__(self):
+        self._tools: dict[str, Tool] = {}
+
+    def register(self, tool: Tool) -> Tool:
+        if tool.name in self._tools:
+            raise ToolUsageError(tool.name, "tool already registered")
+        self._tools[tool.name] = tool
+        return tool
+
+    def add(
+        self,
+        name: str,
+        func: ToolFunc,
+        description: str = "",
+        **kwargs,
+    ) -> Tool:
+        return self.register(Tool(name=name, func=func, description=description, **kwargs))
+
+    def get(self, name: str) -> Tool:
+        try:
+            return self._tools[name]
+        except KeyError:
+            raise ToolError(name, "unknown tool") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tools
+
+    def names(self) -> list[str]:
+        return sorted(self._tools)
+
+    def run(self, call: ToolCall) -> ToolResult:
+        """Execute a tool and validate its contract.
+
+        A successful result must provide a payload for every expected output;
+        tool exceptions become non-zero exit statuses (tools crash, tasks
+        abort — they never take Papyrus down with them).
+        """
+        tool = self.get(call.tool)
+        try:
+            result = tool.func(call)
+        except ToolError as exc:
+            return ToolResult(status=getattr(exc, "status", 1) or 1, log=str(exc))
+        except Exception as exc:  # tool bug → failed step, not a crash
+            return ToolResult(status=2, log=f"{call.tool}: internal error: {exc}")
+        if result.ok:
+            missing = [n for n in call.output_names if n not in result.outputs]
+            if missing:
+                return ToolResult(
+                    status=3,
+                    log=f"{call.tool}: produced no output for {missing}",
+                )
+        return result
+
+
+_default: ToolRegistry | None = None
+
+
+def default_registry() -> ToolRegistry:
+    """The registry with the full synthetic OCT suite installed (lazy)."""
+    global _default
+    if _default is None:
+        from repro.cad import tools_logic, tools_phys
+
+        _default = ToolRegistry()
+        tools_logic.install(_default)
+        tools_phys.install(_default)
+    return _default

@@ -1,0 +1,588 @@
+"""Physical-level CAD tools: pleasure, panda, wolfe, padplace, the Mosaico
+pipeline (atlas, mosaicoGR, PGcurrent, mosaicoDR, octflatten, mizer, sparcs,
+vulcan, mosaicoRC), floorplan, and chipstats.
+
+The failure modes the thesis exploits are real here: ``sparcs`` horizontal
+compaction fails on congested layouts (driving Mosaico's ``$status``
+conditional), ``panda`` rejects PLAs over an area constraint, and ``mosaicoDR``
+runs out of routing tracks — each surfaces as a non-zero exit status that the
+task manager's programmable-abort machinery reacts to.
+"""
+
+from __future__ import annotations
+
+from repro.cad.layout import Cell, Layout, Net, Report, left_edge_tracks
+from repro.cad.logic import BooleanNetwork, Cover, Cube, Node, Pla
+from repro.cad.registry import ToolCall, ToolRegistry, ToolResult
+from repro.errors import ToolError, ToolUsageError
+
+# ------------------------------------------------------------- PLA back end
+
+
+def fold_pla(pla: Pla) -> Pla:
+    """``pleasure``'s core: greedy column folding.
+
+    Two input columns can share a physical column when no product term has
+    care literals in both.  Returns a new PLA with ``folded_pairs`` set.
+    """
+    terms: set[str] = set()
+    for cover in pla.covers.values():
+        terms.update(str(c) for c in cover.cubes)
+    n = pla.num_inputs
+    conflict = [[False] * n for _ in range(n)]
+    for term in terms:
+        cares = [i for i, ch in enumerate(term) if ch != "-"]
+        for i in cares:
+            for j in cares:
+                conflict[i][j] = True
+    used: set[int] = set()
+    pairs = 0
+    for i in range(n):
+        if i in used:
+            continue
+        for j in range(i + 1, n):
+            if j in used or conflict[i][j]:
+                continue
+            used.update((i, j))
+            pairs += 1
+            break
+    return Pla(
+        name=pla.name,
+        input_names=list(pla.input_names),
+        covers={k: Cover.from_dict(v.to_dict()) for k, v in pla.covers.items()},
+        folded_pairs=pairs,
+        format=pla.format,
+    )
+
+
+def _pleasure(call: ToolCall) -> ToolResult:
+    pla = call.input(0)
+    if not isinstance(pla, Pla):
+        raise ToolUsageError("pleasure", f"expected a PLA, got {type(pla).__name__}")
+    folded = fold_pla(pla)
+    outs = {name: folded for name in call.output_names}
+    return ToolResult(
+        outputs=outs,
+        log=f"pleasure: folded {folded.folded_pairs} column pairs "
+            f"({pla.num_inputs} -> {folded.effective_columns} columns)",
+    )
+
+
+def pla_layout(pla: Pla) -> Layout:
+    """``panda``'s core: turn a (possibly folded) PLA into an array layout."""
+    columns = 2 * pla.effective_columns + pla.num_outputs
+    rows = pla.num_terms + 2
+    array = Cell(name=f"{pla.name}_array", width=columns * 4, height=rows * 4)
+    nets = [
+        Net(name=sig, terminals=(array.name,))
+        for sig in list(pla.input_names) + list(pla.covers)
+    ]
+    return Layout(
+        name=pla.name,
+        style="pla",
+        cells=[array],
+        nets=nets,
+        stage="detail-routed",
+        meta={"logic_depth": 2, "pla_terms": pla.num_terms,
+              "pla_columns": columns},
+    )
+
+
+def _panda(call: ToolCall) -> ToolResult:
+    pla = call.input(0)
+    if not isinstance(pla, Pla):
+        raise ToolUsageError("panda", f"expected a PLA, got {type(pla).__name__}")
+    layout = pla_layout(pla)
+    limit_text = call.option_value("-a")
+    if limit_text is not None and layout.area > int(limit_text):
+        raise ToolError(
+            "panda",
+            f"area constraint violated: {layout.area} > {limit_text}",
+            status=1,
+        )
+    outs = {name: layout for name in call.output_names}
+    return ToolResult(outputs=outs, log=f"panda: array area {layout.area}")
+
+
+# --------------------------------------------------------- standard cells
+
+
+def _as_network(payload, tool: str) -> BooleanNetwork:
+    if isinstance(payload, BooleanNetwork):
+        return payload
+    raise ToolUsageError(tool, f"expected a logic network, got "
+                               f"{type(payload).__name__}")
+
+
+def place_network(net: BooleanNetwork, rows: int) -> Layout:
+    """Greedy balanced row placement of one cell per logic node."""
+    cells: list[Cell] = []
+    row_width = [0] * max(rows, 1)
+    row_of: dict[str, int] = {}
+    for name in net.topo_order():
+        node = net.nodes[name]
+        width = 4 + 2 * node.cover.num_literals
+        row = min(range(len(row_width)), key=lambda r: row_width[r])
+        cells.append(
+            Cell(name=name, width=width, height=8, x=row_width[row], y=row * 12)
+        )
+        row_of[name] = row
+        row_width[row] += width + 2
+    nets: list[Net] = []
+    for name, node in net.nodes.items():
+        terminals = tuple([name] + [f for f in node.fanins if f in net.nodes])
+        if len(terminals) > 1:
+            nets.append(Net(name=f"w_{name}", terminals=terminals))
+    return Layout(
+        name=net.name,
+        style="standard-cell",
+        cells=cells,
+        nets=nets,
+        stage="placed",
+        meta={"logic_depth": net.depth, "rows": max(rows, 1),
+              "num_nodes": net.num_nodes},
+    )
+
+
+def route_layout(layout: Layout) -> Layout:
+    """Left-edge track assignment over net x-spans (one shared channel)."""
+    pos = {c.name: c.x + c.width // 2 for c in layout.cells}
+    intervals: list[tuple[int, int]] = []
+    indices: list[int] = []
+    for i, net in enumerate(layout.nets):
+        xs = [pos[t] for t in net.terminals if t in pos]
+        if len(xs) < 2:
+            continue
+        intervals.append((min(xs), max(xs)))
+        indices.append(i)
+    tracks = left_edge_tracks(intervals)
+    new_nets = list(layout.nets)
+    for idx, track in zip(indices, tracks):
+        old = new_nets[idx]
+        new_nets[idx] = Net(
+            name=old.name, terminals=old.terminals, track=track,
+            vias=max(1, len(old.terminals) - 1),
+        )
+    routed = layout.advanced("detail-routed")
+    routed.nets = new_nets
+    routed.tracks_used = max(tracks, default=-1) + 1
+    return routed
+
+
+def _wolfe(call: ToolCall) -> ToolResult:
+    """``wolfe`` — standard-cell place and route in one shot.
+
+    ``-p refine`` runs the iterative-improvement placement pass between the
+    greedy placement and routing (slower, shorter wires).
+    """
+    net = _as_network(call.input(0), "wolfe")
+    rows = int(call.option_value("-r", "2") or "2")
+    placed = place_network(net, rows)
+    if call.option_value("-p") == "refine":
+        placed = refine_placement(placed)
+    layout = route_layout(placed)
+    outs = {name: layout for name in call.output_names}
+    return ToolResult(
+        outputs=outs,
+        log=f"wolfe: {len(layout.cells)} cells, area {layout.area}, "
+            f"{layout.tracks_used} tracks",
+    )
+
+
+def _padplace(call: ToolCall) -> ToolResult:
+    """``padplace`` — add I/O pads.
+
+    On a logic network: inserts pad buffer nodes on every primary input and
+    output (pads as cells, so placement sees them).  On a layout: adds the
+    pad ring.
+    """
+    payload = call.input(0)
+    if isinstance(payload, BooleanNetwork):
+        net = payload.copy()
+        for pin in list(net.inputs):
+            pad = f"pad_{pin}"
+            if pad in net.nodes:
+                continue
+            net.nodes[pad] = Node(
+                name=pad, fanins=[pin],
+                cover=Cover(num_inputs=1, cubes=[Cube("1")]),
+            )
+            for node in net.nodes.values():
+                if node.name == pad:
+                    continue
+                node.fanins = [pad if f == pin else f for f in node.fanins]
+        for i, pout in enumerate(list(net.outputs)):
+            pad = f"pad_{pout}"
+            if pad in net.nodes:
+                continue
+            net.nodes[pad] = Node(
+                name=pad, fanins=[pout],
+                cover=Cover(num_inputs=1, cubes=[Cube("1")]),
+            )
+            net.outputs[i] = pad
+        net.validate()
+        outs = {name: net for name in call.output_names}
+        return ToolResult(
+            outputs=outs, log=f"padplace: inserted pads on {net.name}"
+        )
+    if isinstance(payload, Layout):
+        w, h = payload.bounding_box()
+        ring = [
+            Cell(name=f"padring_{side}", width=w + 16 if side in "ns" else 8,
+                 height=8 if side in "ns" else h,
+                 x=-8 if side in "nsw" else w + 8,
+                 y=-8 if side == "s" else (h if side == "n" else 0))
+            for side in "nsew"
+        ]
+        padded = payload.advanced("padded")
+        padded.cells = list(payload.cells) + ring
+        padded.has_pads = True
+        outs = {name: padded for name in call.output_names}
+        return ToolResult(outputs=outs, log="padplace: pad ring added")
+    raise ToolUsageError("padplace", f"cannot pad {type(payload).__name__}")
+
+
+def _floorplan(call: ToolCall) -> ToolResult:
+    """``floorplan`` — coarse placement of a network (Fig 3.4's first step)."""
+    net = _as_network(call.input(0), "floorplan")
+    layout = place_network(net, rows=1)
+    outs = {name: layout for name in call.output_names}
+    return ToolResult(outputs=outs, log=f"floorplan: {len(layout.cells)} blocks")
+
+
+def _place(call: ToolCall) -> ToolResult:
+    """``place`` — refine a floorplan into balanced rows."""
+    payload = call.input(0)
+    rows = int(call.option_value("-r", "2") or "2")
+    if isinstance(payload, Layout):
+        cells = sorted(payload.cells, key=lambda c: c.name)
+        row_width = [0] * rows
+        placed = []
+        for cell in cells:
+            row = min(range(rows), key=lambda r: row_width[r])
+            placed.append(
+                Cell(cell.name, cell.width, cell.height,
+                     x=row_width[row], y=row * 12)
+            )
+            row_width[row] += cell.width + 2
+        refined = payload.advanced("placed", rows=rows)
+        refined.cells = placed
+        outs = {name: refined for name in call.output_names}
+        return ToolResult(outputs=outs, log=f"place: {rows} rows")
+    raise ToolUsageError("place", f"cannot place {type(payload).__name__}")
+
+
+# ------------------------------------------------------------ Mosaico chain
+
+
+def _as_layout(payload, tool: str) -> Layout:
+    if isinstance(payload, Layout):
+        return payload
+    if isinstance(payload, BooleanNetwork):
+        # Macro-cell flows start from a netlist; give it a coarse placement.
+        return place_network(payload, rows=2)
+    raise ToolUsageError(tool, f"expected a layout, got {type(payload).__name__}")
+
+
+def _atlas(call: ToolCall) -> ToolResult:
+    """``atlas`` — define the channel areas between cell rows."""
+    layout = _as_layout(call.input(0), "atlas")
+    rows = layout.meta.get("rows", 2)
+    defined = layout.advanced("channels-defined", channels=max(1, rows - 0))
+    outs = {name: defined for name in call.output_names}
+    return ToolResult(outputs=outs, log=f"atlas: {defined.meta['channels']} channels")
+
+
+def _mosaico_gr(call: ToolCall) -> ToolResult:
+    """``mosaicoGR`` — global routing: assign each net to a channel."""
+    layout = _as_layout(call.input(0), "mosaicoGR")
+    channels = layout.meta.get("channels", 1)
+    ypos = {c.name: c.y for c in layout.cells}
+    assignments = {}
+    for net in layout.nets:
+        ys = [ypos[t] for t in net.terminals if t in ypos]
+        assignments[net.name] = (min(ys) // 12) % channels if ys else 0
+    routed = layout.advanced("globally-routed", channel_of=assignments)
+    outs = {name: routed for name in call.output_names}
+    return ToolResult(outputs=outs, log=f"mosaicoGR: {len(assignments)} nets routed")
+
+
+def _pgcurrent(call: ToolCall) -> ToolResult:
+    """``PGcurrent`` — power/ground current estimation report."""
+    layout = _as_layout(call.input(0), "PGcurrent")
+    power = layout.power_estimate()
+    report = Report(
+        kind="pg-current",
+        text=f"PGcurrent: estimated supply current {power:.3f} mA",
+        values=(("current_ma", round(power, 3)),),
+    )
+    outs = {name: report for name in call.output_names}
+    return ToolResult(outputs=outs, log=report.text)
+
+
+def _mosaico_dr(call: ToolCall) -> ToolResult:
+    """``mosaicoDR`` — detailed channel routing (left-edge).
+
+    ``-t <max>`` imposes a routing-capacity limit; exceeding it fails the
+    step, which is how "insufficient routing space" (Fig 3.4) happens here.
+    """
+    layout = _as_layout(call.input(0), "mosaicoDR")
+    routed = route_layout(layout)
+    limit_text = call.option_value("-t")
+    if limit_text is not None and routed.tracks_used > int(limit_text):
+        raise ToolError(
+            "mosaicoDR",
+            f"insufficient routing space: needs {routed.tracks_used} tracks, "
+            f"limit {limit_text}",
+            status=1,
+        )
+    outs = {name: routed for name in call.output_names}
+    return ToolResult(
+        outputs=outs, log=f"mosaicoDR: {routed.tracks_used} tracks used"
+    )
+
+
+def _octflatten(call: ToolCall) -> ToolResult:
+    """``octflatten`` — symbolic format flattening (structure-preserving)."""
+    layout = _as_layout(call.input(0), "octflatten")
+    flat = layout.advanced(layout.stage, flattened=True)
+    outs = {name: flat for name in call.output_names}
+    return ToolResult(outputs=outs, log="octflatten: flattened")
+
+
+def _mizer(call: ToolCall) -> ToolResult:
+    """``mizer`` — via minimization (halves vias on multi-terminal nets)."""
+    layout = _as_layout(call.input(0), "mizer")
+    before = layout.via_count
+    new_nets = [
+        Net(n.name, n.terminals, n.track, max(0, n.vias // 2))
+        for n in layout.nets
+    ]
+    minimized = layout.advanced("via-minimized")
+    minimized.nets = new_nets
+    outs = {name: minimized for name in call.output_names}
+    return ToolResult(
+        outputs=outs,
+        log=f"mizer: {before} -> {minimized.via_count} vias",
+    )
+
+
+#: Horizontal-first compaction fails at or above this channel density.
+SPARCS_DENSITY_LIMIT = 3.0
+
+
+def compaction_density(layout: Layout) -> float:
+    """Congestion metric deciding whether horizontal compaction succeeds."""
+    rows = max(1, layout.meta.get("rows", 1))
+    return layout.tracks_used / rows
+
+
+def _sparcs(call: ToolCall) -> ToolResult:
+    """``sparcs`` — layout compaction.
+
+    Default is horizontal-first, which fails on congested layouts
+    (density >= SPARCS_DENSITY_LIMIT).  ``-v`` selects vertical-first, which
+    always succeeds but compacts less.  This reproduces Mosaico's
+    ``if {$status} {... Vertical_Compaction ...}`` control flow.
+    """
+    layout = _as_layout(call.input(0), "sparcs")
+    vertical = call.has_flag("-v")
+    density = compaction_density(layout)
+    if not vertical and density >= SPARCS_DENSITY_LIMIT:
+        raise ToolError(
+            "sparcs",
+            f"horizontal compaction failed: channel density {density:.2f} "
+            f">= {SPARCS_DENSITY_LIMIT}",
+            status=1,
+        )
+    shrink = 0.90 if vertical else 0.80
+    cells = [
+        Cell(c.name, max(1, int(c.width * shrink)), c.height,
+             int(c.x * shrink), c.y)
+        for c in layout.cells
+    ]
+    compacted = layout.advanced(
+        "compacted", compaction="vertical" if vertical else "horizontal"
+    )
+    compacted.cells = cells
+    outs = {name: compacted for name in call.output_names}
+    return ToolResult(
+        outputs=outs,
+        log=f"sparcs: {'vertical' if vertical else 'horizontal'} compaction, "
+            f"area {layout.area} -> {compacted.area}",
+    )
+
+
+def _vulcan(call: ToolCall) -> ToolResult:
+    """``vulcan`` — create the protection-frame abstraction view."""
+    layout = _as_layout(call.input(0), "vulcan")
+    w, h = layout.bounding_box()
+    frame = Cell(name=f"{layout.name}_frame", width=w, height=h)
+    abstracted = layout.advanced("abstracted", detail_cells=len(layout.cells))
+    abstracted.cells = [frame]
+    abstracted.nets = []
+    outs = {name: abstracted for name in call.output_names}
+    return ToolResult(outputs=outs, log=f"vulcan: abstracted {len(layout.cells)} cells")
+
+
+def _mosaico_rc(call: ToolCall) -> ToolResult:
+    """``mosaicoRC`` — routing-completeness check (no outputs, status only)."""
+    from repro.cad.layout import STAGES
+
+    layouts = [p for p in call.inputs if isinstance(p, Layout)]
+    if not layouts:
+        raise ToolUsageError("mosaicoRC", "no layout among inputs")
+    # Check the most advanced layout when given both the reference and result.
+    layout = max(layouts, key=lambda l: STAGES.index(l.stage))
+    unrouted = [
+        n.name for n in layout.nets
+        if n.track is None and len(n.terminals) > 1
+    ]
+    if unrouted and layout.stage in ("detail-routed", "via-minimized",
+                                     "padded", "compacted", "abstracted"):
+        return ToolResult(
+            status=1, log=f"mosaicoRC: {len(unrouted)} unrouted nets"
+        )
+    return ToolResult(log="mosaicoRC: routing complete")
+
+
+def _chipstats(call: ToolCall) -> ToolResult:
+    """``chipstats`` — per-chip statistics report."""
+    payload = call.input(0)
+    if isinstance(payload, Layout):
+        values = (
+            ("area", float(payload.area)),
+            ("cell_area", float(payload.cell_area)),
+            ("delay_ns", round(payload.critical_delay(), 3)),
+            ("power_mw", round(payload.power_estimate(), 3)),
+            ("cells", float(len(payload.cells))),
+            ("nets", float(len(payload.nets))),
+            ("vias", float(payload.via_count)),
+            ("tracks", float(payload.tracks_used)),
+        )
+        text = "\n".join(f"{k:>10}: {v}" for k, v in values)
+        report = Report(kind="chipstats", text=f"chipstats {payload.name}\n{text}",
+                        values=values)
+    elif isinstance(payload, BooleanNetwork):
+        values = (
+            ("nodes", float(payload.num_nodes)),
+            ("literals", float(payload.num_literals)),
+            ("depth", float(payload.depth)),
+        )
+        report = Report(kind="chipstats",
+                        text=f"chipstats {payload.name} (logic)", values=values)
+    else:
+        raise ToolUsageError("chipstats", f"cannot report on "
+                                          f"{type(payload).__name__}")
+    outs = {name: report for name in call.output_names}
+    return ToolResult(outputs=outs, log=report.text)
+
+
+# -------------------------------------------------------------- cost models
+
+
+def _cost_from_cells(base: float, per_cell: float):
+    def cost(call: ToolCall) -> float:
+        layout = next((p for p in call.inputs if isinstance(p, Layout)), None)
+        if layout is None:
+            net = next(
+                (p for p in call.inputs if isinstance(p, BooleanNetwork)), None
+            )
+            n = getattr(net, "num_nodes", 20)
+        else:
+            n = len(layout.cells)
+        return base + per_cell * n
+    return cost
+
+
+def install(registry: ToolRegistry) -> None:
+    """Register the physical tool suite."""
+    registry.add("pleasure", _pleasure, description="PLA column folding",
+                 cost=lambda c: 1.0 + getattr(c.inputs[0], "num_terms", 10) / 10.0
+                 if c.inputs else 1.0,
+                 man_page="pleasure <pla>")
+    registry.add("panda", _panda, description="PLA array layout generation",
+                 cost=lambda c: 1.5, man_page="panda [-a <area-limit>] <pla>")
+    registry.add("wolfe", _wolfe, description="standard-cell place and route",
+                 cost=_cost_from_cells(4.0, 0.15),
+                 man_page="wolfe [-f] [-r <rows>] -o <out> <in>")
+    registry.add("padplace", _padplace, description="I/O pad placement",
+                 cost=_cost_from_cells(1.0, 0.02),
+                 man_page="padplace [-c|-f] [-S] -o <out> <in>")
+    registry.add("floorplan", _floorplan, description="coarse floorplanning",
+                 cost=_cost_from_cells(2.0, 0.05), man_page="floorplan <netlist>")
+    registry.add("place", _place, description="row placement refinement",
+                 cost=_cost_from_cells(2.5, 0.08),
+                 man_page="place [-r <rows>] <layout>")
+    registry.add("atlas", _atlas, description="channel definition",
+                 cost=_cost_from_cells(1.0, 0.02),
+                 man_page="atlas [-i] [-z] -o <out> <in>")
+    registry.add("mosaicoGR", _mosaico_gr, description="global routing",
+                 cost=_cost_from_cells(2.0, 0.10),
+                 man_page="mosaicoGR <in> [-r] [-ov] <out>")
+    registry.add("PGcurrent", _pgcurrent,
+                 description="power/ground current analysis",
+                 cost=_cost_from_cells(1.2, 0.03), man_page="PGcurrent <layout>")
+    registry.add("mosaicoDR", _mosaico_dr, description="detailed channel routing",
+                 cost=_cost_from_cells(3.0, 0.12),
+                 man_page="mosaicoDR [-d] [-t <max-tracks>] [-r YACR] -o <out> <in>")
+    registry.add("octflatten", _octflatten, description="symbolic flattening",
+                 cost=_cost_from_cells(0.8, 0.01),
+                 man_page="octflatten [-r <ref>] -o <out> <in>")
+    registry.add("mizer", _mizer, description="via minimization",
+                 cost=_cost_from_cells(1.5, 0.05), man_page="mizer -o <out> <in>")
+    registry.add("sparcs", _sparcs, description="layout compaction",
+                 cost=_cost_from_cells(3.5, 0.10),
+                 man_page="sparcs [-v] [-t] [-w <layer>]... -o <out> <in>")
+    registry.add("vulcan", _vulcan, description="protection-frame abstraction",
+                 cost=_cost_from_cells(1.0, 0.02), man_page="vulcan <in> -o <out>")
+    registry.add("mosaicoRC", _mosaico_rc, description="routing completeness check",
+                 cost=_cost_from_cells(1.0, 0.04),
+                 man_page="mosaicoRC [-m <margin>] [-c <ref>] <layout>")
+    registry.add("chipstats", _chipstats, description="chip statistics report",
+                 cost=_cost_from_cells(0.8, 0.01), man_page="chipstats <layout>")
+
+
+# -------------------------------------------------- placement refinement
+
+
+def refine_placement(layout: Layout, passes: int = 4) -> Layout:
+    """Iterative-improvement placement (the TimberWolf-era alternative to
+    one-shot greedy): repeatedly swap cell positions when the swap reduces
+    half-perimeter wirelength.  Deterministic (fixed scan order), so results
+    are reproducible without any RNG.
+    """
+    cells = list(layout.cells)
+    positions = [(c.x, c.y) for c in cells]
+
+    def wirelength() -> int:
+        probe = Layout(
+            name=layout.name, style=layout.style,
+            cells=[
+                Cell(c.name, c.width, c.height, x, y)
+                for c, (x, y) in zip(cells, positions)
+            ],
+            nets=layout.nets, stage=layout.stage, meta=dict(layout.meta),
+        )
+        return probe.wirelength()
+
+    best = wirelength()
+    for _ in range(max(1, passes)):
+        improved = False
+        for i in range(len(cells)):
+            for j in range(i + 1, len(cells)):
+                positions[i], positions[j] = positions[j], positions[i]
+                candidate = wirelength()
+                if candidate < best:
+                    best = candidate
+                    improved = True
+                else:
+                    positions[i], positions[j] = positions[j], positions[i]
+        if not improved:
+            break
+    refined = layout.advanced(layout.stage, placement="refined")
+    refined.cells = [
+        Cell(c.name, c.width, c.height, x, y)
+        for c, (x, y) in zip(cells, positions)
+    ]
+    return refined

@@ -1,0 +1,308 @@
+"""An interactive shell over the activity manager.
+
+The thesis's Tk interface (Figs 5.1–5.5) reduced to a line-oriented shell:
+the same operations — list/invoke tasks, browse the control stream, move the
+current cursor, inspect the data scope and thread workspace, annotate and
+random-access design points, save/restore the installation — exposed as
+commands, so scripted designers and humans drive the same code path.
+
+Run interactively::
+
+    python -m repro.cli
+
+or drive it programmatically (the tests do)::
+
+    shell = Shell()
+    shell.execute("invoke Padp Incell=adder.net -- Outcell=a.pad")
+"""
+
+from __future__ import annotations
+
+import shlex
+from typing import Callable
+
+from repro import Papyrus
+from repro.activity.persistence import load_system, save_system
+from repro.activity.reclamation import Reclaimer
+from repro.activity.viewport import render_stream
+from repro.core.lwt import LWTSystem
+from repro.clock import VirtualClock
+from repro.errors import PapyrusError
+
+
+class ShellError(PapyrusError):
+    """Bad shell usage (unknown command, malformed arguments)."""
+
+
+def _parse_bindings(tokens: list[str]) -> tuple[dict[str, str], dict[str, str]]:
+    """``A=x B=y -- C=z`` → (inputs, outputs); ``--`` separates them."""
+    inputs: dict[str, str] = {}
+    outputs: dict[str, str] = {}
+    target = inputs
+    for token in tokens:
+        if token == "--":
+            target = outputs
+            continue
+        if "=" not in token:
+            raise ShellError(f"expected Formal=actual, got {token!r}")
+        formal, _, actual = token.partition("=")
+        target[formal] = actual
+    return inputs, outputs
+
+
+class Shell:
+    """A command interpreter bound to one Papyrus installation."""
+
+    def __init__(self, papyrus: Papyrus | None = None):
+        self.papyrus = papyrus or Papyrus.standard(hosts=4)
+        self.current: str | None = None
+        self.out: list[str] = []
+        self.done = False
+        self._commands: dict[str, Callable[[list[str]], None]] = {
+            "help": self._cmd_help,
+            "tasks": self._cmd_tasks,
+            "tools": self._cmd_tools,
+            "thread": self._cmd_thread,
+            "threads": self._cmd_threads,
+            "invoke": self._cmd_invoke,
+            "render": self._cmd_render,
+            "move": self._cmd_move,
+            "scope": self._cmd_scope,
+            "workspace": self._cmd_workspace,
+            "annotate": self._cmd_annotate,
+            "goto": self._cmd_goto,
+            "man": self._cmd_man,
+            "objects": self._cmd_objects,
+            "notebook": self._cmd_notebook,
+            "reclaim": self._cmd_reclaim,
+            "advance": self._cmd_advance,
+            "save": self._cmd_save,
+            "load": self._cmd_load,
+            "quit": self._cmd_quit,
+        }
+
+    # ------------------------------------------------------------- machinery
+
+    def _print(self, text: str = "") -> None:
+        self.out.append(text)
+
+    def execute(self, line: str) -> list[str]:
+        """Run one command line; returns (and records) the output lines."""
+        self.out = []
+        tokens = shlex.split(line, comments=True)
+        if not tokens:
+            return self.out
+        name, args = tokens[0], tokens[1:]
+        handler = self._commands.get(name)
+        if handler is None:
+            raise ShellError(f"unknown command {name!r}; try 'help'")
+        handler(args)
+        return self.out
+
+    def run(self) -> None:  # pragma: no cover - interactive loop
+        print("Papyrus shell. 'help' lists commands, 'quit' exits.")
+        while not self.done:
+            try:
+                line = input(f"papyrus[{self.current or '-'}]> ")
+            except EOFError:
+                break
+            try:
+                for text in self.execute(line):
+                    print(text)
+            except PapyrusError as exc:
+                print(f"error: {exc}")
+
+    def _manager(self):
+        if self.current is None:
+            raise ShellError("no current thread; use: thread <name>")
+        return self.papyrus.activities[self.current]
+
+    # -------------------------------------------------------------- commands
+
+    def _cmd_help(self, args: list[str]) -> None:
+        self._print("commands:")
+        summaries = {
+            "tasks": "list task templates",
+            "tools": "list CAD tools",
+            "thread <name>": "open (or switch to) a design thread",
+            "threads": "list open threads",
+            "invoke <task> In=obj... -- Out=name...": "run a task",
+            "render": "show the control stream",
+            "move <point> [erase]": "rework: move the current cursor",
+            "scope": "show the data scope at the cursor",
+            "workspace": "show the thread workspace",
+            "annotate <point> <text>": "annotate a design point",
+            "goto time <seconds> | goto note <text>": "random access",
+            "man <tool>": "show a tool's man page",
+            "objects [base]": "list database objects",
+            "notebook": "generate the design notebook from the history",
+            "reclaim [grace-seconds]": "run the storage reclaimer",
+            "advance <seconds>": "advance the virtual clock",
+            "save <dir> / load <dir>": "persist / restore everything",
+            "quit": "leave the shell",
+        }
+        for usage, summary in summaries.items():
+            self._print(f"  {usage:<44} {summary}")
+
+    def _cmd_tasks(self, args: list[str]) -> None:
+        for name in self.papyrus.taskmgr.library.names():
+            template = self.papyrus.taskmgr.library.get(name)
+            self._print(
+                f"  {name:<28} in={','.join(template.inputs) or '-'} "
+                f"out={','.join(template.outputs) or '-'}"
+            )
+
+    def _cmd_tools(self, args: list[str]) -> None:
+        registry = self.papyrus.taskmgr.registry
+        for name in registry.names():
+            self._print(f"  {name:<12} {registry.get(name).description}")
+
+    def _cmd_thread(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ShellError("usage: thread <name>")
+        name = args[0]
+        if name not in self.papyrus.activities:
+            self.papyrus.open_thread(name)
+            self._print(f"created thread {name!r}")
+        self.current = name
+        self._print(f"current thread: {name}")
+
+    def _cmd_threads(self, args: list[str]) -> None:
+        for name, manager in self.papyrus.activities.items():
+            marker = " *" if name == self.current else ""
+            self._print(
+                f"  {name:<20} cursor={manager.thread.current_cursor} "
+                f"records={len(manager.thread.stream)}{marker}"
+            )
+
+    def _cmd_invoke(self, args: list[str]) -> None:
+        if not args:
+            raise ShellError(
+                "usage: invoke <task> In=obj ... -- Out=name ...")
+        task, rest = args[0], args[1:]
+        inputs, outputs = _parse_bindings(rest)
+        point = self._manager().invoke(task, inputs, outputs)
+        if point is None:
+            self._print(f"{task}: completed (filtered, no history kept)")
+            return
+        record = self._manager().thread.stream.record(point)
+        self._print(f"committed at design point {point}: {record.summary()}")
+        for step in record.steps:
+            self._print(
+                f"  {step.completed_at:8.1f}s {step.name:<28} "
+                f"{step.tool:<10} {step.host:<5} status={step.status}"
+            )
+
+    def _cmd_render(self, args: list[str]) -> None:
+        thread = self._manager().thread
+        self._print(render_stream(thread.stream, cursor=thread.current_cursor))
+
+    def _cmd_move(self, args: list[str]) -> None:
+        if not args:
+            raise ShellError("usage: move <point> [erase]")
+        erase = len(args) > 1 and args[1] == "erase"
+        self._manager().move_cursor(int(args[0]), erase=erase)
+        self._print(f"cursor at design point {args[0]}"
+                    + (" (branch erased)" if erase else ""))
+
+    def _cmd_scope(self, args: list[str]) -> None:
+        for name in self._manager().show_data_scope():
+            self._print(f"  {name}")
+
+    def _cmd_workspace(self, args: list[str]) -> None:
+        for name in self._manager().show_thread_workspace():
+            self._print(f"  {name}")
+
+    def _cmd_annotate(self, args: list[str]) -> None:
+        if len(args) < 2:
+            raise ShellError("usage: annotate <point> <text>")
+        text = " ".join(args[1:])
+        self._manager().thread.annotate(int(args[0]), text)
+        self._print(f"annotated point {args[0]}: {text}")
+
+    def _cmd_goto(self, args: list[str]) -> None:
+        if len(args) < 2 or args[0] not in ("time", "note"):
+            raise ShellError("usage: goto time <seconds> | goto note <text>")
+        if args[0] == "time":
+            point = self._manager().go_to_time(float(args[1]))
+        else:
+            point = self._manager().go_to_annotation(" ".join(args[1:]))
+        if point is None:
+            self._print("no matching design point")
+        else:
+            self._print(f"cursor at design point {point}")
+
+    def _cmd_man(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ShellError("usage: man <tool>")
+        tool = self.papyrus.taskmgr.registry.get(args[0])
+        self._print(tool.man_page or f"{tool.name}: no man page")
+
+    def _cmd_objects(self, args: list[str]) -> None:
+        base = args[0] if args else None
+        for obj in self.papyrus.db:
+            if base is not None and obj.base != base:
+                continue
+            deleted = self.papyrus.db.is_deleted(obj.name)
+            self._print(
+                f"  {str(obj.name):<34} {type(obj.payload).__name__:<16}"
+                f"{' (deleted)' if deleted else ''}"
+            )
+
+    def _cmd_notebook(self, args: list[str]) -> None:
+        from repro.metadata.notebook import design_notebook
+
+        manager = self._manager()
+        self.papyrus.observe_history(manager)
+        self._print(design_notebook(manager.thread, self.papyrus.inference))
+
+    def _cmd_reclaim(self, args: list[str]) -> None:
+        grace = float(args[0]) if args else 0.0
+        reclaimer = Reclaimer(self._manager().thread)
+        report = reclaimer.sweep(reclaim_grace=grace)
+        reclaimed = self.papyrus.db.reclaim(grace_seconds=grace)
+        self._print(
+            f"abstracted {report.records_abstracted} records, pruned "
+            f"{report.records_pruned}, reclaimed {len(reclaimed)} versions"
+        )
+
+    def _cmd_advance(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ShellError("usage: advance <seconds>")
+        self.papyrus.clock.advance(float(args[0]))
+        self._print(f"virtual time is now {self.papyrus.clock.now:.1f}s")
+
+    def _cmd_save(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ShellError("usage: save <directory>")
+        save_system(self.papyrus.lwt, args[0])
+        self._print(f"saved to {args[0]}")
+
+    def _cmd_load(self, args: list[str]) -> None:
+        if len(args) != 1:
+            raise ShellError("usage: load <directory>")
+        lwt = load_system(args[0], LWTSystem(clock=VirtualClock()))
+        papyrus = Papyrus(lwt=lwt, taskmgr=self.papyrus.taskmgr,
+                          clock=lwt.clock)
+        papyrus.taskmgr.db = lwt.db
+        papyrus.taskmgr.cluster.clock = lwt.clock
+        from repro.activity.manager import ActivityManager
+
+        for name, thread in lwt.threads.items():
+            papyrus.activities[name] = ActivityManager(thread,
+                                                       papyrus.taskmgr)
+        self.papyrus = papyrus
+        self.current = next(iter(lwt.threads), None)
+        self._print(f"loaded {len(lwt.threads)} threads from {args[0]}")
+
+    def _cmd_quit(self, args: list[str]) -> None:
+        self.done = True
+        self._print("bye")
+
+
+def main() -> None:  # pragma: no cover - console entry point
+    Shell().run()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

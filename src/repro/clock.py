@@ -1,0 +1,48 @@
+"""Virtual clock shared by all Papyrus subsystems.
+
+The thesis timestamps history records, drives hour-resolution time indexes,
+and ages objects for reclamation.  Real wall-clock time would make every test
+and benchmark nondeterministic, so all subsystems read time from a
+:class:`VirtualClock` that only advances when told to.  The cluster simulator
+advances it as simulated tool executions complete; scenario drivers advance it
+explicitly (e.g. "two days pass" before aging kicks in).
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically non-decreasing simulated clock.
+
+    Time is a float number of simulated seconds since an arbitrary epoch.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move the clock forward by ``seconds`` (must be >= 0)."""
+        if seconds < 0:
+            raise ValueError(f"cannot move time backwards ({seconds})")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, when: float) -> float:
+        """Move the clock forward to absolute time ``when`` (no-op if past)."""
+        if when > self._now:
+            self._now = when
+        return self._now
+
+    def hour(self) -> int:
+        """The hour bucket of the current time (used by the history index)."""
+        return int(self._now // 3600)
+
+
+#: Default clock used when a subsystem is constructed without an explicit one.
+#: Tests that need isolation construct their own VirtualClock.
+GLOBAL_CLOCK = VirtualClock()

@@ -1,0 +1,34 @@
+"""The Light Weight Transaction (LWT) model — the paper's core contribution.
+
+The LWT hierarchy (thesis Ch. 3):
+
+* *design step* — one CAD tool invocation (recorded as :class:`StepRecord`);
+* *design task* — an atomic parallel script of steps (its committed history
+  is a :class:`HistoryRecord`);
+* *design thread* — an open-ended context: a workspace, a branching control
+  stream of history records, frontier cursors, and a current cursor whose
+  *thread state* (data scope) bounds what is visible.
+
+Visibility dictates accessibility; updates are single-assignment.  Threads
+interact only through synchronization data spaces (:class:`SDS`) and
+read-only thread imports.
+"""
+
+from repro.core.history import HistoryRecord, StepRecord
+from repro.core.control_stream import ControlStream, INITIAL_POINT
+from repro.core.datascope import DataScope
+from repro.core.thread import DesignThread
+from repro.core.sds import Notification, SynchronizationDataSpace
+from repro.core.lwt import LWTSystem
+
+__all__ = [
+    "ControlStream",
+    "DataScope",
+    "DesignThread",
+    "HistoryRecord",
+    "INITIAL_POINT",
+    "LWTSystem",
+    "Notification",
+    "StepRecord",
+    "SynchronizationDataSpace",
+]

@@ -1,0 +1,130 @@
+"""Data scope computation (§5.3).
+
+The *thread state* of a design point is the set of object versions referenced
+as inputs or created as outputs by the records on the point's backward
+closure.  The current cursor's thread state is the *data scope* — the default
+context in which object names are resolved.
+
+Computation is a backward traversal with memoization: selected design points
+cache their thread states, and a traversal stops as soon as it reaches a
+cached point.  Insertion of records above a cached point patches the cache
+(handled in :mod:`repro.core.control_stream`).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.core.control_stream import INITIAL_POINT, ControlStream
+from repro.errors import ObjectNotFound
+from repro.octdb.naming import ObjectName, parse_name
+
+
+class DataScope:
+    """Computes and caches thread states over one control stream."""
+
+    #: Cache the thread state of every CACHE_STRIDE-th record on a path.
+    CACHE_STRIDE = 8
+
+    def __init__(self, stream: ControlStream, cache_stride: int | None = None):
+        self.stream = stream
+        self.cache_stride = cache_stride if cache_stride is not None \
+            else self.CACHE_STRIDE
+        #: Traversal-cost instrumentation for the caching benchmark.
+        self.nodes_visited = 0
+
+    # ------------------------------------------------------------ computation
+
+    def thread_state(self, point: int, use_cache: bool = True) -> frozenset[str]:
+        """The set of versioned object names visible at ``point``.
+
+        Bottom-up over the backward closure, stopping at cached design points;
+        every ``cache_stride``-th point computed on the way gets its thread
+        state cached (point numbers grow along paths, so caches spread evenly
+        through the stream).
+        """
+        memo: dict[int, frozenset[str]] = {}
+
+        def resolved(p: int) -> frozenset[str] | None:
+            if p in memo:
+                return memo[p]
+            if use_cache:
+                return self.stream.node(p).cached_scope
+            return None
+
+        stack = [point]
+        while stack:
+            current = stack[-1]
+            if resolved(current) is not None:
+                stack.pop()
+                continue
+            node = self.stream.node(current)
+            pending = [p for p in node.parents if resolved(p) is None]
+            if pending:
+                stack.extend(pending)
+                continue
+            self.nodes_visited += 1
+            collected: set[str] = set()
+            for p in node.parents:
+                parent_state = resolved(p)
+                assert parent_state is not None
+                collected |= parent_state
+            if node.record is not None:
+                collected.update(node.record.touched)
+            state = frozenset(collected)
+            memo[current] = state
+            if (use_cache and self.cache_stride and current != INITIAL_POINT
+                    and current % self.cache_stride == 0):
+                node.cached_scope = state
+            stack.pop()
+        result = resolved(point)
+        assert result is not None
+        return result
+
+    def invalidate(self, point: int | None = None) -> None:
+        """Drop cached states (all, or on the forward closure of a point)."""
+        if point is None:
+            targets = self.stream.points()
+        else:
+            targets = [point] + self.stream.descendants(point)
+        for p in targets:
+            if p in self.stream:
+                self.stream.node(p).cached_scope = None
+
+    # ------------------------------------------------------------- resolution
+
+    def visible_versions(self, point: int) -> dict[str, list[int]]:
+        """Map of base name → sorted visible version numbers at ``point``."""
+        versions: dict[str, list[int]] = defaultdict(list)
+        for text in self.thread_state(point):
+            name = parse_name(text)
+            if name.version is not None:
+                versions[name.base].append(name.version)
+        return {base: sorted(set(v)) for base, v in versions.items()}
+
+    def resolve(self, point: int, name: str | ObjectName) -> ObjectName:
+        """Resolve a (possibly unversioned) name against the data scope.
+
+        Unversioned names resolve to the most recent visible version (§5.2);
+        explicitly versioned names must themselves be visible.
+        """
+        oname = parse_name(name) if isinstance(name, str) else name
+        versions = self.visible_versions(point).get(oname.base, [])
+        if oname.version is None:
+            if not versions:
+                raise ObjectNotFound(
+                    f"{oname.base!r} is not visible from design point {point}"
+                )
+            return oname.at(versions[-1])
+        if oname.version not in versions:
+            raise ObjectNotFound(
+                f"{oname} is not visible from design point {point}"
+            )
+        return oname
+
+    def is_visible(self, point: int, name: str | ObjectName) -> bool:
+        try:
+            self.resolve(point, name)
+            return True
+        except ObjectNotFound:
+            return False

@@ -1,0 +1,72 @@
+"""The LWT system facade.
+
+Bundles the shared database, the thread registry and the SDS registry so that
+examples and scenario drivers deal with one object.
+"""
+
+from __future__ import annotations
+
+from repro.clock import GLOBAL_CLOCK, VirtualClock
+from repro.core.sds import SynchronizationDataSpace
+from repro.core.thread import DesignThread
+from repro.errors import SdsError, ThreadError
+from repro.octdb.database import DesignDatabase
+
+
+class LWTSystem:
+    """One Papyrus installation: a database plus threads and SDSs."""
+
+    def __init__(
+        self,
+        db: DesignDatabase | None = None,
+        clock: VirtualClock | None = None,
+    ):
+        self.clock = clock or GLOBAL_CLOCK
+        # NB: explicit None check — an empty DesignDatabase is falsy
+        self.db = db if db is not None else DesignDatabase(clock=self.clock)
+        self.threads: dict[str, DesignThread] = {}
+        self.spaces: dict[str, SynchronizationDataSpace] = {}
+
+    # ---------------------------------------------------------------- threads
+
+    def create_thread(self, name: str, owner: str = "") -> DesignThread:
+        if name in self.threads:
+            raise ThreadError(f"thread {name!r} already exists")
+        thread = DesignThread(name, db=self.db, owner=owner, clock=self.clock)
+        self.threads[name] = thread
+        return thread
+
+    def thread(self, name: str) -> DesignThread:
+        try:
+            return self.threads[name]
+        except KeyError:
+            raise ThreadError(f"no thread named {name!r}") from None
+
+    def adopt_thread(self, thread: DesignThread) -> DesignThread:
+        """Register a thread produced by fork/cascade/join."""
+        if thread.name in self.threads:
+            raise ThreadError(f"thread {thread.name!r} already exists")
+        self.threads[thread.name] = thread
+        return thread
+
+    def drop_thread(self, name: str) -> None:
+        self.threads.pop(name, None)
+
+    # ------------------------------------------------------------------- SDSs
+
+    def create_sds(
+        self, name: str, members: list[DesignThread] | None = None
+    ) -> SynchronizationDataSpace:
+        if name in self.spaces:
+            raise SdsError(f"SDS {name!r} already exists")
+        sds = SynchronizationDataSpace(name, db=self.db, clock=self.clock)
+        for thread in members or ():
+            sds.register(thread)
+        self.spaces[name] = sds
+        return sds
+
+    def sds(self, name: str) -> SynchronizationDataSpace:
+        try:
+            return self.spaces[name]
+        except KeyError:
+            raise SdsError(f"no SDS named {name!r}") from None

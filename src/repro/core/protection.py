@@ -1,0 +1,80 @@
+"""Context-based data protection (§1.4's "contexts offer a natural way for
+data protection ... via partitioning of the data space").
+
+A :class:`ProtectedThread` wraps a design thread with an owner-only mutation
+policy: the owner may commit, rework and erase; designers on the reader list
+may only look (data scope, workspace, stream queries) — the same access split
+that thread import provides, but enforced rather than conventional.
+"""
+
+from __future__ import annotations
+
+from repro.core.history import HistoryRecord
+from repro.core.thread import DesignThread
+from repro.errors import VisibilityError
+
+
+class ProtectedThread:
+    """An access-checked facade over one design thread."""
+
+    def __init__(self, thread: DesignThread, readers: set[str] | None = None):
+        if not thread.owner:
+            raise VisibilityError(
+                f"thread {thread.name!r} has no owner; protection needs one"
+            )
+        self.thread = thread
+        self.readers: set[str] = set(readers or ())
+
+    # ------------------------------------------------------------ membership
+
+    def grant_read(self, user: str) -> None:
+        self.readers.add(user)
+
+    def revoke_read(self, user: str) -> None:
+        self.readers.discard(user)
+
+    def _require_owner(self, user: str, action: str) -> None:
+        if user != self.thread.owner:
+            raise VisibilityError(
+                f"{user!r} is not the owner of thread "
+                f"{self.thread.name!r} and cannot {action}"
+            )
+
+    def _require_reader(self, user: str, action: str) -> None:
+        if user != self.thread.owner and user not in self.readers:
+            raise VisibilityError(
+                f"{user!r} has no access to thread {self.thread.name!r} "
+                f"and cannot {action}"
+            )
+
+    # -------------------------------------------------------------- mutation
+
+    def commit_record(self, user: str, record: HistoryRecord, **kwargs) -> int:
+        self._require_owner(user, "commit work")
+        return self.thread.commit_record(record, **kwargs)
+
+    def move_cursor(self, user: str, point: int, erase: bool = False) -> None:
+        self._require_owner(user, "move the cursor")
+        self.thread.move_cursor(point, erase=erase)
+
+    def annotate(self, user: str, point: int, text: str) -> None:
+        self._require_owner(user, "annotate history")
+        self.thread.annotate(point, text)
+
+    def check_in(self, user: str, name: str):
+        self._require_owner(user, "check objects in")
+        return self.thread.check_in(name)
+
+    # ----------------------------------------------------------------- reads
+
+    def data_scope(self, user: str) -> frozenset[str]:
+        self._require_reader(user, "read the data scope")
+        return self.thread.data_scope()
+
+    def workspace(self, user: str) -> frozenset[str]:
+        self._require_reader(user, "read the workspace")
+        return self.thread.workspace()
+
+    def records(self, user: str):
+        self._require_reader(user, "browse the history")
+        return self.thread.stream.records()

@@ -1,0 +1,212 @@
+"""Design threads (§3.3.3).
+
+A design thread embodies the *context* of one design entity: its workspace
+(the objects involved in its task instantiations), its control stream, and
+its frontier cursors.  The *current cursor* selects the visible thread state;
+moving it is the **rework** mechanism — the thesis's replacement for
+pre-planned snapshots.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+from repro.clock import GLOBAL_CLOCK, VirtualClock
+from repro.core.control_stream import INITIAL_POINT, ControlStream
+from repro.core.datascope import DataScope
+from repro.core.history import HistoryRecord
+from repro.errors import ObjectNotFound, ThreadError
+from repro.octdb.database import DesignDatabase
+from repro.octdb.naming import ObjectName, parse_name
+
+if TYPE_CHECKING:
+    from repro.core.sds import Notification
+
+_thread_ids = itertools.count(1)
+
+
+class DesignThread:
+    """One open-ended design activity with its own context."""
+
+    def __init__(
+        self,
+        name: str,
+        db: DesignDatabase,
+        owner: str = "",
+        clock: VirtualClock | None = None,
+    ):
+        self.thread_id = next(_thread_ids)
+        self.name = name
+        self.owner = owner
+        self.db = db
+        self.clock = clock or GLOBAL_CLOCK
+        self.stream = ControlStream()
+        self.scope = DataScope(self.stream)
+        self.current_cursor = INITIAL_POINT
+        #: Objects checked in from outside (paths, SDS retrievals): visible
+        #: from every design point of this thread.
+        self.extra_objects: set[str] = set()
+        #: Read-only imported threads (§3.3.4.2), name → live reference.
+        self.imports: dict[str, "DesignThread"] = {}
+        #: Change notifications delivered by synchronization data spaces.
+        self.notifications: list["Notification"] = []
+        #: Last time each design point was visited or created (drives the
+        #: dead-end-branch garbage collector, §5.4).
+        self.point_access: dict[int, float] = {INITIAL_POINT: self.clock.now}
+
+    def __repr__(self) -> str:
+        return (f"<DesignThread {self.thread_id} {self.name!r} "
+                f"cursor={self.current_cursor}>")
+
+    # -------------------------------------------------------------- recording
+
+    def commit_record(
+        self,
+        record: HistoryRecord,
+        invocation_cursor: int | None = None,
+        follow_path: bool = False,
+    ) -> int:
+        """Attach a committed task's history record (the task manager's
+        hand-off, §4.3.5) and auto-advance the cursor when appropriate.
+
+        ``invocation_cursor`` is where the record attaches (default: the
+        current cursor — after a rework this deliberately starts a new
+        branch).  ``follow_path=True`` selects the §5.3 splice rule instead:
+        the activity manager uses it with the tracked path tip of an
+        in-flight invocation, so a record completing after an intervening
+        rework is inserted *before* the branches that grew below its path.
+        """
+        if invocation_cursor is None:
+            invocation_cursor = self.current_cursor
+        record.recorded_at = self.clock.now
+        if follow_path:
+            point = self.stream.append_spliced(record, invocation_cursor)
+        else:
+            point = self.stream.append(record, invocation_cursor)
+        # The cursor follows its own path's growth (§3.3.3) but never jumps
+        # to work committed on another branch.
+        if self.current_cursor in self.stream.node(point).parents:
+            self.current_cursor = point
+        self.point_access[point] = self.clock.now
+        return point
+
+    # ----------------------------------------------------------------- rework
+
+    def move_cursor(self, point: int, erase: bool = False) -> None:
+        """Rework: reposition the current cursor on an existing design point.
+
+        With ``erase``, the branch between the target point and the old
+        cursor (and everything below it) is removed and its objects deleted
+        — Fig 3.6's erase-on-rework variant.
+        """
+        if point not in self.stream:
+            raise ThreadError(f"no design point {point} in thread {self.name!r}")
+        old_cursor = self.current_cursor
+        self.current_cursor = point
+        self.point_access[point] = self.clock.now
+        if not erase or old_cursor == point:
+            return
+        if not self.stream.is_ancestor(point, old_cursor):
+            raise ThreadError(
+                "erase-on-rework requires the target point to be an ancestor "
+                f"of the current cursor ({point} is not above {old_cursor})"
+            )
+        on_path = set(self.stream.ancestors(old_cursor))
+        doomed: set[int] = set()
+        for child in self.stream.node(point).children:
+            if child in on_path:
+                doomed.add(child)
+                doomed.update(self.stream.descendants(child))
+        removed = self.stream.remove_points(doomed)
+        self.scope.invalidate()
+        for record in removed:
+            for name in record.outputs + record.intermediates():
+                if self.db.exists(name) and not self.db.is_deleted(name):
+                    self.db.delete(name)
+
+    # ------------------------------------------------------------- visibility
+
+    def data_scope(self) -> frozenset[str]:
+        """The thread state of the current cursor plus checked-in objects."""
+        return self.scope.thread_state(self.current_cursor) | frozenset(
+            self.extra_objects
+        )
+
+    def workspace(self) -> frozenset[str]:
+        """The thread workspace: union of all frontier thread states (§3.3.3)."""
+        names: set[str] = set(self.extra_objects)
+        for point in self.stream.frontier():
+            names |= self.scope.thread_state(point)
+        return frozenset(names)
+
+    def resolve(self, name: str | ObjectName) -> ObjectName:
+        """Resolve an object name in the current data scope (§5.2).
+
+        Unversioned names get the most recent visible version; explicit
+        versions must be visible.  Checked-in extras resolve to their latest
+        checked-in version.
+        """
+        oname = parse_name(name) if isinstance(name, str) else name
+        extra_versions = sorted(
+            parse_name(text).version or 0
+            for text in self.extra_objects
+            if parse_name(text).base == oname.base
+        )
+        try:
+            resolved = self.scope.resolve(self.current_cursor, oname)
+            if oname.version is None and extra_versions:
+                return oname.at(max(resolved.version or 0, extra_versions[-1]))
+            return resolved
+        except ObjectNotFound:
+            if oname.version is None and extra_versions:
+                return oname.at(extra_versions[-1])
+            if oname.version is not None and oname.version in extra_versions:
+                return oname
+            raise
+
+    def is_visible(self, name: str | ObjectName) -> bool:
+        try:
+            self.resolve(name)
+            return True
+        except ObjectNotFound:
+            return False
+
+    def check_in(self, name: str | ObjectName) -> ObjectName:
+        """Make an external object visible in this thread (implicit check-in
+        of path-format names, §5.2)."""
+        oname = parse_name(name) if isinstance(name, str) else name
+        obj = self.db.get(oname)  # must exist
+        self.extra_objects.add(str(obj.name))
+        return obj.name
+
+    # ------------------------------------------------------------ annotations
+
+    def annotate(self, point: int, text: str) -> None:
+        """Attach an annotation string to a design point's record (§5.2)."""
+        self.stream.record(point).annotation = text
+
+    def find_annotation(self, text: str) -> int | None:
+        return self.stream.find_by_annotation(text)
+
+    def find_time(self, when: float) -> int | None:
+        return self.stream.find_by_time(when)
+
+    # ----------------------------------------------------------------- import
+
+    def import_thread(self, other: "DesignThread") -> None:
+        """Monitor another designer's thread read-only (§3.3.4.2).
+
+        The import is a continuous reflection, not a snapshot: the stored
+        reference is live.  Nothing in this thread may write through it.
+        """
+        if other is self:
+            raise ThreadError("a thread cannot import itself")
+        self.imports[other.name] = other
+
+    def imported_workspace(self, name: str) -> frozenset[str]:
+        """Peek at an imported thread's current workspace."""
+        try:
+            return self.imports[name].workspace()
+        except KeyError:
+            raise ThreadError(f"no imported thread named {name!r}") from None

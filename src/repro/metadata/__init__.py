@@ -1,0 +1,32 @@
+"""Automatic metadata inference from design history (thesis Ch. 6).
+
+Instead of asking users to supply object types, attributes and inter-object
+relationships, the system *observes* the design history and deduces them.
+The data-oriented history representation is the **augmented derivation graph
+(ADG)**; the domain knowledge lives in per-tool **Tool Semantics
+Descriptions (TSD)** and per-type attribute specifications; the
+:class:`MetadataInferenceEngine` consumes history records incrementally and
+builds the metadata as a by-product of tool executions — the design-database
+analogue of attribute evaluation in syntax-directed editors.
+"""
+
+from repro.metadata.adg import AugmentedDerivationGraph, DerivationEdge
+from repro.metadata.tsd import ToolSemantics, TsdRegistry, standard_tsds
+from repro.metadata.typesys import AttributeSpec, TypeSpec, standard_types
+from repro.metadata.relationships import Relationship, RelationshipStore
+from repro.metadata.inference import InferenceStats, MetadataInferenceEngine
+
+__all__ = [
+    "AttributeSpec",
+    "AugmentedDerivationGraph",
+    "DerivationEdge",
+    "InferenceStats",
+    "MetadataInferenceEngine",
+    "Relationship",
+    "RelationshipStore",
+    "ToolSemantics",
+    "TsdRegistry",
+    "TypeSpec",
+    "standard_tsds",
+    "standard_types",
+]

@@ -1,0 +1,202 @@
+"""The augmented derivation graph (§6.3).
+
+The data-oriented representation of a design history: nodes are object
+versions, arcs are CAD-tool applications (with their control parameters).
+Unlike the thread control stream, the ADG is independent of temporal order —
+it is the design-database analogue of a data-flow graph, and the substrate
+for metadata inference, derivation-history queries (rebuild procedures) and
+affected-set queries (VOV-style retracing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.history import HistoryRecord, StepRecord
+from repro.errors import MetadataError
+
+
+@dataclass(frozen=True)
+class DerivationEdge:
+    """One tool application: inputs → one output."""
+
+    output: str                    # versioned object name
+    inputs: tuple[str, ...]        # versioned object names
+    tool: str
+    options: tuple[str, ...]
+    step: str                      # step name in the task template
+    task: str                      # owning task template
+    at: float                      # completion time
+
+
+class AugmentedDerivationGraph:
+    """Object versions + the tool applications that created them."""
+
+    def __init__(self):
+        self._producer: dict[str, DerivationEdge] = {}      # output -> edge
+        self._consumers: dict[str, list[DerivationEdge]] = {}
+        self._objects: set[str] = set()
+
+    # ----------------------------------------------------------- construction
+
+    def add_step(self, step: StepRecord, task: str = "") -> list[DerivationEdge]:
+        """Record one completed design step (one edge per output)."""
+        edges = []
+        for output in step.outputs:
+            if output in self._producer:
+                raise MetadataError(
+                    f"{output} already has a producer — single assignment "
+                    "violated?"
+                )
+            edge = DerivationEdge(
+                output=output,
+                inputs=step.inputs,
+                tool=step.tool,
+                options=step.options,
+                step=step.name,
+                task=task,
+                at=step.completed_at,
+            )
+            self._producer[output] = edge
+            self._objects.add(output)
+            for name in step.inputs:
+                self._objects.add(name)
+                self._consumers.setdefault(name, []).append(edge)
+            edges.append(edge)
+        return edges
+
+    def add_record(self, record: HistoryRecord) -> list[DerivationEdge]:
+        """Record a committed task's steps (the incremental observe path)."""
+        edges = []
+        for step in record.steps:
+            edges.extend(self.add_step(step, task=record.task))
+        return edges
+
+    # ---------------------------------------------------------------- queries
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def objects(self) -> list[str]:
+        return sorted(self._objects)
+
+    def producer(self, name: str) -> DerivationEdge | None:
+        """The tool application that created an object (None for sources)."""
+        return self._producer.get(name)
+
+    def consumers(self, name: str) -> list[DerivationEdge]:
+        return list(self._consumers.get(name, ()))
+
+    def sources(self) -> list[str]:
+        """Objects with no recorded producer (primary inputs of the design)."""
+        return sorted(self._objects - set(self._producer))
+
+    def derivation_history(self, name: str) -> list[DerivationEdge]:
+        """The complete rebuild procedure for an object, in dependency order
+        (the UNIX-make knowledge the thesis points at).
+
+        Iterative post-order: derivation chains can be arbitrarily deep.
+        """
+        ordered: list[DerivationEdge] = []
+        seen: set[str] = set()
+        stack: list[tuple[str, bool]] = [(name, False)]
+        while stack:
+            obj, expanded = stack.pop()
+            edge = self._producer.get(obj)
+            if edge is None:
+                continue
+            if expanded:
+                ordered.append(edge)
+                continue
+            if obj in seen:
+                continue
+            seen.add(obj)
+            stack.append((obj, True))
+            for parent in reversed(edge.inputs):
+                if parent not in seen:
+                    stack.append((parent, False))
+        return ordered
+
+    def affected_set(self, name: str) -> list[str]:
+        """Every object downstream of ``name`` (VOV-retracing's question:
+        what must be regenerated if this object changes?)."""
+        affected: list[str] = []
+        seen: set[str] = set()
+        stack = [name]
+        while stack:
+            current = stack.pop()
+            for edge in self._consumers.get(current, ()):
+                if edge.output in seen:
+                    continue
+                seen.add(edge.output)
+                affected.append(edge.output)
+                stack.append(edge.output)
+        return sorted(affected)
+
+    def retrace_plan(self, changed: str) -> list[DerivationEdge]:
+        """The tool applications to re-run, in dependency order, after
+        ``changed`` is modified (the VOV baseline uses the same query)."""
+        affected = set(self.affected_set(changed))
+        plan: list[DerivationEdge] = []
+        emitted: set[str] = set()
+        for start in sorted(affected):
+            stack: list[tuple[str, bool]] = [(start, False)]
+            while stack:
+                obj, expanded = stack.pop()
+                if obj not in affected:
+                    continue
+                if expanded:
+                    plan.append(self._producer[obj])
+                    continue
+                if obj in emitted:
+                    continue
+                emitted.add(obj)
+                stack.append((obj, True))
+                for parent in reversed(self._producer[obj].inputs):
+                    if parent not in emitted:
+                        stack.append((parent, False))
+        return plan
+
+    def check_acyclic(self) -> None:
+        """Derivation must be acyclic under single assignment; verify it."""
+        WHITE, GREY, BLACK = 0, 1, 2
+        state: dict[str, int] = {}
+        for start in self._objects:
+            if state.get(start, WHITE) != WHITE:
+                continue
+            stack: list[tuple[str, bool]] = [(start, False)]
+            while stack:
+                obj, leaving = stack.pop()
+                if leaving:
+                    state[obj] = BLACK
+                    continue
+                mark = state.get(obj, WHITE)
+                if mark == GREY:
+                    raise MetadataError(f"derivation cycle through {obj}")
+                if mark == BLACK:
+                    continue
+                state[obj] = GREY
+                stack.append((obj, True))
+                edge = self._producer.get(obj)
+                if edge is not None:
+                    for parent in edge.inputs:
+                        if state.get(parent, WHITE) == GREY:
+                            raise MetadataError(
+                                f"derivation cycle through {parent}"
+                            )
+                        if state.get(parent, WHITE) == WHITE:
+                            stack.append((parent, False))
+
+    def to_networkx(self):
+        """Export as a networkx DiGraph (edges input → output)."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._objects)
+        for output, edge in self._producer.items():
+            for name in edge.inputs:
+                graph.add_edge(name, output, tool=edge.tool)
+        return graph

@@ -1,0 +1,91 @@
+"""Attribute indexes (§6.4.1's *index attributes*).
+
+The type system marks some intrinsic attributes *immediate* precisely so
+their values exist the moment an object does — "index attributes, whose
+values are needed to put the triggering object in the index".  This module is
+that index: a per-(type, attribute) sorted structure answering range and
+top-k queries ("all layouts under 5000 area", "the three fastest logic
+versions") without touching payloads.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any
+
+from repro.errors import MetadataError
+from repro.metadata.inference import MetadataInferenceEngine
+
+
+class AttributeIndex:
+    """Sorted (value, object) index per (object type, attribute)."""
+
+    def __init__(self):
+        #: (type, attribute) -> sorted list of (value, versioned name)
+        self._entries: dict[tuple[str, str], list[tuple[Any, str]]] = {}
+        self._known: set[tuple[str, str, str]] = set()
+
+    # ------------------------------------------------------------ population
+
+    def add(self, otype: str, attr: str, name: str, value: Any) -> None:
+        key = (otype, attr)
+        if (otype, attr, name) in self._known:
+            return
+        self._known.add((otype, attr, name))
+        bisect.insort(self._entries.setdefault(key, []), (value, name))
+
+    def discard(self, name: str) -> None:
+        """Remove every index entry of a (reclaimed) object."""
+        for key, entries in self._entries.items():
+            entries[:] = [(v, n) for v, n in entries if n != name]
+        self._known = {k for k in self._known if k[2] != name}
+
+    def ingest(self, engine: MetadataInferenceEngine) -> int:
+        """Pull every immediate attribute value the engine holds (idempotent).
+
+        Returns the number of entries added.
+        """
+        added = 0
+        for (name, attr), value in engine.attributes._values.items():
+            otype = engine.object_type.get(name)
+            if otype is None:
+                continue
+            if not isinstance(value, (int, float)):
+                continue
+            before = len(self._known)
+            self.add(otype, attr, name, value)
+            added += len(self._known) - before
+        return added
+
+    # --------------------------------------------------------------- queries
+
+    def _slot(self, otype: str, attr: str) -> list[tuple[Any, str]]:
+        entries = self._entries.get((otype, attr))
+        if entries is None:
+            raise MetadataError(
+                f"no index for attribute {attr!r} of type {otype!r}"
+            )
+        return entries
+
+    def in_range(
+        self,
+        otype: str,
+        attr: str,
+        low: float | None = None,
+        high: float | None = None,
+    ) -> list[str]:
+        """Objects whose attribute lies in [low, high] (inclusive ends)."""
+        entries = self._slot(otype, attr)
+        lo = 0 if low is None else bisect.bisect_left(entries, (low, ""))
+        hi = (len(entries) if high is None
+              else bisect.bisect_right(entries, (high, "￿")))
+        return [name for _, name in entries[lo:hi]]
+
+    def smallest(self, otype: str, attr: str, k: int = 1) -> list[str]:
+        return [name for _, name in self._slot(otype, attr)[:k]]
+
+    def largest(self, otype: str, attr: str, k: int = 1) -> list[str]:
+        return [name for _, name in self._slot(otype, attr)[-k:]][::-1]
+
+    def count(self, otype: str, attr: str) -> int:
+        return len(self._entries.get((otype, attr), ()))

@@ -1,0 +1,302 @@
+"""Incremental metadata construction (§6.4).
+
+The engine observes committed history records (the same stream the activity
+manager maintains), extends the ADG, and — consulting the TSDs and type
+specifications — infers each new object's type, attaches and evaluates its
+attributes (immediate / lazy / inherited), and establishes derivation,
+version, equivalence and configuration relationships.  No user ever supplies
+metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.history import HistoryRecord
+from repro.errors import MetadataError
+from repro.metadata.adg import AugmentedDerivationGraph, DerivationEdge
+from repro.metadata.relationships import (
+    Relationship,
+    RelationshipStore,
+    standard_rules,
+)
+from repro.metadata.tsd import TsdRegistry, standard_tsds
+from repro.metadata.typesys import (
+    IMMEDIATE,
+    INTRINSIC,
+    PROPAGATED,
+    TypeSpec,
+    standard_types,
+)
+from repro.octdb.database import DesignDatabase
+
+
+@dataclass
+class InferenceStats:
+    """Instrumentation for the metadata benchmarks."""
+
+    objects_typed: int = 0
+    immediate_evaluations: int = 0
+    lazy_evaluations: int = 0
+    inherited_values: int = 0
+    propagated_evaluations: int = 0
+    relationships: dict[str, int] = field(default_factory=dict)
+    type_violations: list[str] = field(default_factory=list)
+    unknown_tools: list[str] = field(default_factory=list)
+
+    def count_relationship(self, kind: str) -> None:
+        self.relationships[kind] = self.relationships.get(kind, 0) + 1
+
+
+class _AttrStore:
+    """Attribute values keyed by (object, attribute)."""
+
+    def __init__(self):
+        self._values: dict[tuple[str, str], Any] = {}
+
+    def has(self, name: str, attr: str) -> bool:
+        return (name, attr) in self._values
+
+    def get(self, name: str, attr: str) -> Any:
+        try:
+            return self._values[(name, attr)]
+        except KeyError:
+            raise MetadataError(
+                f"attribute {attr!r} of {name!r} has no value"
+            ) from None
+
+    def set(self, name: str, attr: str, value: Any) -> None:
+        self._values[(name, attr)] = value
+
+
+class MetadataInferenceEngine:
+    """Builds design metadata as a by-product of observed tool executions."""
+
+    def __init__(
+        self,
+        db: DesignDatabase,
+        tsds: TsdRegistry | None = None,
+        types: dict[str, TypeSpec] | None = None,
+        force_immediate: bool = False,
+        force_lazy: bool = False,
+    ):
+        self.db = db
+        self.tsds = tsds or standard_tsds()
+        self.types = types or standard_types()
+        self.adg = AugmentedDerivationGraph()
+        self.relationships = standard_rules(RelationshipStore())
+        self.attributes = _AttrStore()
+        self.object_type: dict[str, str] = {}
+        self.object_format: dict[str, str] = {}
+        self.stats = InferenceStats()
+        #: Ablation knobs: evaluate everything eagerly / everything lazily.
+        self.force_immediate = force_immediate
+        self.force_lazy = force_lazy
+
+    # ---------------------------------------------------------- type probing
+
+    def _type_of_payload(self, name: str) -> str | None:
+        """Fallback typing for source objects that predate the history."""
+        from repro.cad.layout import Layout, Report
+        from repro.cad.logic import BehavioralSpec, BooleanNetwork, Cover, Pla
+
+        if not self.db.exists(name):
+            return None
+        payload = self.db.get(name).payload
+        if isinstance(payload, BehavioralSpec):
+            return "behavioral"
+        if isinstance(payload, (BooleanNetwork, Cover, Pla)):
+            return "logic"
+        if isinstance(payload, Layout):
+            return "layout"
+        if isinstance(payload, Report):
+            return "report"
+        return None
+
+    def type_of(self, name: str) -> str | None:
+        """The inferred type of an object (typing sources on first sight)."""
+        if name in self.object_type:
+            return self.object_type[name]
+        inferred = self._type_of_payload(name)
+        if inferred is not None:
+            self._assign_type(name, inferred, "native")
+        return inferred
+
+    def _assign_type(self, name: str, otype: str, fmt: str) -> None:
+        if name in self.object_type:
+            return
+        self.object_type[name] = otype
+        self.object_format[name] = fmt
+        self.stats.objects_typed += 1
+
+    # ------------------------------------------------------------- observing
+
+    def observe(self, record: HistoryRecord) -> None:
+        """Consume one committed task's history."""
+        for edge in self.adg.add_record(record):
+            self._infer(edge)
+
+    def observe_step(self, step, task: str = "") -> None:
+        for edge in self.adg.add_step(step, task=task):
+            self._infer(edge)
+
+    def _infer(self, edge: DerivationEdge) -> None:
+        if edge.tool not in self.tsds:
+            self.stats.unknown_tools.append(edge.tool)
+            for source in edge.inputs:
+                self.relationships.add(Relationship(
+                    "derivation", source, edge.output, via_tool=edge.tool))
+                self.stats.count_relationship("derivation")
+            return
+        tsd = self.tsds.get(edge.tool)
+        # -- type inference (§6.4.1)
+        otype, fmt = tsd.output_type(edge.options)
+        self._assign_type(edge.output, otype, fmt)
+        # -- incompatible tool application detection
+        if tsd.input_types:
+            for source in edge.inputs:
+                source_type = self.type_of(source)
+                if source_type and source_type not in tsd.input_types:
+                    self.stats.type_violations.append(
+                        f"{edge.tool} applied to {source} of type "
+                        f"{source_type} (accepts {tsd.input_types})"
+                    )
+        # -- attribute attachment and evaluation
+        self._attach_attributes(edge, tsd, otype)
+        # -- relationship establishment (§6.4.2)
+        self._establish_relationships(edge, tsd, otype)
+
+    def _attach_attributes(self, edge: DerivationEdge, tsd, otype: str) -> None:
+        spec = self.types.get(otype)
+        if spec is None:
+            return
+        for attr in spec.attributes:
+            if attr.kind != INTRINSIC:
+                continue
+            # inheritance through the tool's inherit list
+            if not self.force_immediate and attr.name in tsd.inherit:
+                donor = next(
+                    (i for i in edge.inputs
+                     if self.attributes.has(i, attr.name)),
+                    None,
+                )
+                if donor is not None:
+                    self.attributes.set(
+                        edge.output, attr.name,
+                        self.attributes.get(donor, attr.name),
+                    )
+                    self.stats.inherited_values += 1
+                    continue
+            immediate = attr.mode == IMMEDIATE or self.force_immediate
+            if immediate and not self.force_lazy:
+                try:
+                    value = attr.measure(self.db.get(edge.output).payload)
+                except Exception as exc:  # noqa: BLE001 — tool lied
+                    # The payload contradicts the TSD-asserted type: a tool
+                    # mis-description, reported rather than fatal.
+                    self.stats.type_violations.append(
+                        f"{edge.tool}: output {edge.output} does not "
+                        f"support {attr.name!r} ({exc})"
+                    )
+                    continue
+                self.attributes.set(edge.output, attr.name, value)
+                self.stats.immediate_evaluations += 1
+            # lazy attributes wait for the first attribute() read
+
+    def _establish_relationships(self, edge: DerivationEdge, tsd,
+                                 otype: str) -> None:
+        for source in edge.inputs:
+            self.relationships.add(Relationship(
+                "derivation", source, edge.output, via_tool=edge.tool))
+            self.stats.count_relationship("derivation")
+        primary = self._primary_input(edge, tsd)
+        if tsd.composition:
+            for source in edge.inputs:
+                self.relationships.add(Relationship(
+                    "configuration", source, edge.output, via_tool=edge.tool))
+                self.stats.count_relationship("configuration")
+        if primary is None or tsd.writes_level == "report":
+            return
+        if tsd.same_level and not tsd.composition:
+            # A same-level transformation yields the next version of the
+            # same logical design entity.
+            self.relationships.add(Relationship(
+                "version", primary, edge.output, via_tool=edge.tool))
+            self.stats.count_relationship("version")
+        elif not tsd.same_level:
+            # A cross-level transformation links equivalent representations.
+            self.relationships.add(Relationship(
+                "equivalence", primary, edge.output, via_tool=edge.tool))
+            self.stats.count_relationship("equivalence")
+
+    def _primary_input(self, edge: DerivationEdge, tsd) -> str | None:
+        """The input the output transforms: the first one at the level the
+        tool reads."""
+        level_types = {
+            "behavioral": ("behavioral",),
+            "logic": ("logic",),
+            "physical": ("layout",),
+            "report": ("report",),
+        }[tsd.reads_level]
+        for source in edge.inputs:
+            if self.type_of(source) in level_types:
+                return source
+        return edge.inputs[0] if edge.inputs else None
+
+    # ----------------------------------------------------------------- reads
+
+    def attribute(self, name: str, attr: str) -> Any:
+        """Read an attribute, lazily evaluating or propagating as needed."""
+        if self.attributes.has(name, attr):
+            return self.attributes.get(name, attr)
+        otype = self.type_of(name)
+        if otype is None:
+            raise MetadataError(f"{name!r} has no inferred type")
+        spec = self.types[otype].attribute(attr)
+        if spec.kind == INTRINSIC:
+            value = spec.measure(self.db.get(name).payload)
+            self.attributes.set(name, attr, value)
+            self.stats.lazy_evaluations += 1
+            return value
+        # propagated: evaluated through the object's relationships
+        for kind in ("configuration", "equivalence", "version"):
+            incoming = self.relationships.incoming(name, kind)
+            rule = self.relationships.rule_for(kind, otype, attr)
+            if rule is not None and (incoming or kind == "configuration"):
+                value = rule(self, incoming, name)
+                self.attributes.set(name, attr, value)
+                self.stats.propagated_evaluations += 1
+                return value
+        raise MetadataError(
+            f"no propagation rule for attribute {attr!r} of {name!r} "
+            f"(type {otype})"
+        )
+
+    # --------------------------------------------------------------- queries
+
+    def rebuild_procedure(self, name: str) -> list[DerivationEdge]:
+        """The make-style derivation history of an object."""
+        return self.adg.derivation_history(name)
+
+    def representations(self, name: str) -> set[str]:
+        """All equivalent representations of a design entity across levels."""
+        return self.relationships.equivalence_closure(name)
+
+    def versions(self, name: str) -> list[str]:
+        """The logical version chain ending at ``name``."""
+        return self.relationships.version_chain(name)
+
+    def coverage(self) -> dict[str, float]:
+        """How much metadata was inferred (for EXPERIMENTS.md)."""
+        objects = self.adg.objects()
+        produced = [o for o in objects if self.adg.producer(o) is not None]
+        typed = [o for o in produced if o in self.object_type]
+        return {
+            "objects": float(len(objects)),
+            "produced": float(len(produced)),
+            "typed": float(len(typed)),
+            "typed_fraction": len(typed) / len(produced) if produced else 1.0,
+            "relationships": float(len(self.relationships)),
+            "violations": float(len(self.stats.type_violations)),
+        }

@@ -1,0 +1,114 @@
+"""Design documentation generated from the history.
+
+The thesis observes that "the process of generating data and the final data
+are both considered precious knowledge that needs to be documented and
+maintained" (§2.1).  Since Papyrus already holds the full operation history
+and the inferred metadata, the documentation can be *generated*: this module
+renders a design notebook — per-thread narrative, per-object lineage, and the
+inferred relationship summary — as plain text.
+"""
+
+from __future__ import annotations
+
+from repro.core.control_stream import INITIAL_POINT
+from repro.core.thread import DesignThread
+from repro.metadata.inference import MetadataInferenceEngine
+
+
+def _hours(seconds: float) -> str:
+    return f"{seconds / 3600.0:.1f}h"
+
+
+def thread_narrative(thread: DesignThread) -> str:
+    """A chronological account of one thread's committed work."""
+    lines = [f"Design thread: {thread.name}"
+             + (f"  (owner: {thread.owner})" if thread.owner else "")]
+    records = sorted(thread.stream.records(), key=lambda r: r.recorded_at)
+    if not records:
+        lines.append("  (no committed work)")
+        return "\n".join(lines)
+    for record in records:
+        stamp = _hours(record.recorded_at)
+        note = f'  "{record.annotation}"' if record.annotation else ""
+        lines.append(f"  [{stamp}] {record.task}: "
+                     f"{', '.join(record.inputs) or 'no inputs'} -> "
+                     f"{', '.join(record.outputs) or 'no outputs'}{note}")
+        for step in record.steps:
+            lines.append(
+                f"      - {step.name} ({step.tool} on {step.host}, "
+                f"{step.elapsed:.1f}s"
+                + (f", status {step.status}" if step.status else "")
+                + ")"
+            )
+    frontier = thread.stream.frontier()
+    if len(frontier) > 1:
+        lines.append(f"  open alternatives: {len(frontier)} frontier "
+                     f"design points {frontier}")
+    return "\n".join(lines)
+
+
+def object_lineage(engine: MetadataInferenceEngine, name: str) -> str:
+    """Everything the system deduced about one object."""
+    lines = [f"Object: {name}"]
+    otype = engine.type_of(name)
+    fmt = engine.object_format.get(name)
+    lines.append(f"  type: {otype or 'unknown'}"
+                 + (f" ({fmt})" if fmt else ""))
+    producer = engine.adg.producer(name)
+    if producer is not None:
+        lines.append(f"  created by: {producer.tool} "
+                     f"(step {producer.step!r} of task {producer.task!r})")
+        lines.append(f"  from: {', '.join(producer.inputs) or 'nothing'}")
+    else:
+        lines.append("  created by: (source object — predates the history)")
+    rebuild = engine.rebuild_procedure(name)
+    if rebuild:
+        lines.append("  rebuild procedure: "
+                     + " -> ".join(edge.tool for edge in rebuild))
+    affected = engine.adg.affected_set(name)
+    if affected:
+        lines.append(f"  a change here invalidates: {', '.join(affected)}")
+    versions = engine.versions(name)
+    if len(versions) > 1:
+        lines.append("  version lineage: " + " => ".join(versions))
+    equivalents = sorted(engine.representations(name) - {name})
+    if equivalents:
+        lines.append(f"  equivalent representations: "
+                     f"{', '.join(equivalents)}")
+    attrs = []
+    if otype is not None and otype in engine.types:
+        for spec in engine.types[otype].attributes:
+            if engine.attributes.has(name, spec.name):
+                attrs.append(
+                    f"{spec.name}={engine.attributes.get(name, spec.name)}")
+    if attrs:
+        lines.append("  known attributes: " + ", ".join(attrs))
+    return "\n".join(lines)
+
+
+def design_notebook(
+    thread: DesignThread,
+    engine: MetadataInferenceEngine,
+    objects: list[str] | None = None,
+) -> str:
+    """The full generated notebook for one thread."""
+    sections = [thread_narrative(thread), ""]
+    targets = objects
+    if targets is None:
+        targets = sorted({
+            name
+            for record in thread.stream.records()
+            for name in record.outputs
+            if name in engine.adg
+        })
+    for name in targets:
+        sections.append(object_lineage(engine, name))
+        sections.append("")
+    coverage = engine.coverage()
+    sections.append(
+        f"Metadata: {int(coverage['typed'])}/{int(coverage['produced'])} "
+        f"produced objects typed, {int(coverage['relationships'])} "
+        f"relationships inferred, {int(coverage['violations'])} "
+        "tool-application violations."
+    )
+    return "\n".join(sections)

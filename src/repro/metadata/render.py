@@ -1,0 +1,32 @@
+"""ASCII rendering of the augmented derivation graph (Fig 6.2's view)."""
+
+from __future__ import annotations
+
+from repro.metadata.adg import AugmentedDerivationGraph
+
+
+def render_adg(adg: AugmentedDerivationGraph,
+               engine=None) -> str:
+    """Render the ADG in dependency order, one producing arc per line.
+
+    With an inference engine supplied, nodes carry their inferred types.
+    """
+    lines: list[str] = []
+
+    def tag(name: str) -> str:
+        if engine is None:
+            return name
+        otype = engine.type_of(name)
+        return f"{name}:{otype}" if otype else name
+
+    sources = adg.sources()
+    if sources:
+        lines.append("sources: " + ", ".join(tag(s) for s in sources))
+    # Emit one arc per produced object, parents before children.
+    for name in adg.objects():
+        for edge in adg.derivation_history(name):
+            line = (f"  {' + '.join(tag(p) for p in edge.inputs) or '(nothing)'}"
+                    f"  --{edge.tool}-->  {tag(edge.output)}")
+            if line not in lines:
+                lines.append(line)
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Tool Semantics Descriptions (§6.4.1, Fig 6.4).
+
+A TSD captures, per CAD tool, the domain knowledge the inference engine
+needs:
+
+* the type (and format) of the tool's outputs — possibly option-dependent,
+  as in espresso's ``-o equitott`` → ``logic/equation``;
+* the *inherit list*: attributes a tool provably does not change, which can
+  be copied from inputs to outputs instead of re-measured;
+* whether the tool is a *composition* tool (its output contains its inputs,
+  establishing configuration relationships);
+* the *execution semantics vector*: which abstraction levels the tool reads
+  and writes (behavioral / logic / physical), from which version and
+  equivalence relationships are deduced;
+* the input types the tool accepts (for incompatible-application detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MetadataError
+
+#: Abstraction levels of the execution-semantics vector.
+LEVELS = ("behavioral", "logic", "physical", "report")
+
+
+@dataclass(frozen=True)
+class ToolSemantics:
+    """The TSD of one tool."""
+
+    tool: str
+    #: (option flag, option value, type, format): the first row whose
+    #: flag/value matches the invocation wins; flag None = default row.
+    output_rules: tuple[tuple[str | None, str | None, str, str], ...]
+    #: Attributes propagated unchanged from input to output.
+    inherit: tuple[str, ...] = ()
+    composition: bool = False
+    #: Execution semantics vector: input level -> output level.
+    reads_level: str = "logic"
+    writes_level: str = "logic"
+    #: Object types accepted as inputs (empty = anything).
+    input_types: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        for level in (self.reads_level, self.writes_level):
+            if level not in LEVELS:
+                raise MetadataError(f"{self.tool}: unknown level {level!r}")
+
+    def output_type(self, options: tuple[str, ...]) -> tuple[str, str]:
+        """(type, format) of this tool's output under the given options."""
+        default: tuple[str, str] | None = None
+        for flag, value, otype, fmt in self.output_rules:
+            if flag is None:
+                default = (otype, fmt)
+                continue
+            if flag in options:
+                if value is None:
+                    return (otype, fmt)
+                idx = len(options) - 1 - tuple(reversed(options)).index(flag)
+                if idx + 1 < len(options) and options[idx + 1] == value:
+                    return (otype, fmt)
+        if default is None:
+            raise MetadataError(f"{self.tool}: no default output rule")
+        return default
+
+    @property
+    def same_level(self) -> bool:
+        """True for transformations within one abstraction level — their
+        outputs are new *versions* of the same logical entity."""
+        return self.reads_level == self.writes_level
+
+
+class TsdRegistry:
+    """tool name → TSD."""
+
+    def __init__(self):
+        self._tsds: dict[str, ToolSemantics] = {}
+
+    def register(self, tsd: ToolSemantics) -> ToolSemantics:
+        self._tsds[tsd.tool] = tsd
+        return tsd
+
+    def get(self, tool: str) -> ToolSemantics:
+        try:
+            return self._tsds[tool]
+        except KeyError:
+            raise MetadataError(f"no TSD registered for tool {tool!r}") from None
+
+    def __contains__(self, tool: str) -> bool:
+        return tool in self._tsds
+
+    def names(self) -> list[str]:
+        return sorted(self._tsds)
+
+
+def standard_tsds() -> TsdRegistry:
+    """TSDs for the entire synthetic OCT suite."""
+    registry = TsdRegistry()
+
+    def add(tool, rules, **kwargs):
+        registry.register(ToolSemantics(tool=tool, output_rules=tuple(rules),
+                                        **kwargs))
+
+    add("edit", [(None, None, "behavioral", "spec")],
+        reads_level="behavioral", writes_level="behavioral")
+    add("bdsyn", [(None, None, "logic", "blif")],
+        reads_level="behavioral", writes_level="logic",
+        input_types=("behavioral", "logic"))
+    add("misII", [(None, None, "logic", "blif")],
+        inherit=("num_inputs", "num_outputs"),
+        reads_level="logic", writes_level="logic", input_types=("logic",))
+    # Fig 6.4's espresso TSD, verbatim semantics.
+    add("espresso",
+        [("-o", "equitott", "logic", "equation"),
+         ("-o", "pleasure", "logic", "PLA"),
+         (None, None, "logic", "PLA")],
+        inherit=("num_inputs", "num_outputs"),
+        reads_level="logic", writes_level="logic", input_types=("logic",))
+    add("pleasure", [(None, None, "logic", "PLA")],
+        inherit=("num_inputs", "num_outputs", "minterms"),
+        reads_level="logic", writes_level="logic", input_types=("logic",))
+    add("musa", [(None, None, "report", "simulation")],
+        reads_level="logic", writes_level="report")
+    add("octverify", [(None, None, "report", "equivalence")],
+        reads_level="logic", writes_level="report")
+    add("octmap", [(None, None, "logic", "mapped")],
+        inherit=("num_inputs", "num_outputs"),
+        reads_level="logic", writes_level="logic", input_types=("logic",))
+    add("panda", [(None, None, "layout", "symbolic")],
+        reads_level="logic", writes_level="physical", input_types=("logic",))
+    add("wolfe", [(None, None, "layout", "symbolic")],
+        reads_level="logic", writes_level="physical", input_types=("logic",))
+    add("floorplan", [(None, None, "layout", "symbolic")],
+        reads_level="logic", writes_level="physical", input_types=("logic",))
+    add("place", [(None, None, "layout", "symbolic")],
+        inherit=("cells",),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    # padplace is polymorphic: with -c it inserts pad buffers into a logic
+    # network; otherwise it adds a pad ring to a layout.  The TSD's
+    # option-dependent output rules capture exactly this.
+    add("padplace",
+        [("-c", None, "logic", "blif"),
+         (None, None, "layout", "symbolic")],
+        composition=True,
+        reads_level="physical", writes_level="physical",
+        input_types=("layout", "logic"))
+    add("atlas", [(None, None, "layout", "symbolic")],
+        inherit=("cells", "area"),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("mosaicoGR", [(None, None, "layout", "symbolic")],
+        inherit=("cells", "area"),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("mosaicoDR", [(None, None, "layout", "symbolic")],
+        inherit=("cells",),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("octflatten", [(None, None, "layout", "flat")],
+        inherit=("cells", "area"),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("mizer", [(None, None, "layout", "flat")],
+        inherit=("cells", "area"),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("sparcs", [(None, None, "layout", "flat")],
+        inherit=("cells",),
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("vulcan", [(None, None, "layout", "abstract")],
+        reads_level="physical", writes_level="physical",
+        input_types=("layout",))
+    add("PGcurrent", [(None, None, "report", "pg-current")],
+        reads_level="physical", writes_level="report")
+    add("chipstats", [(None, None, "report", "chipstats")],
+        reads_level="physical", writes_level="report")
+    add("mosaicoRC", [(None, None, "report", "routing-check")],
+        reads_level="physical", writes_level="report")
+    return registry

@@ -1,0 +1,12 @@
+"""OCT-like versioned design database substrate.
+
+The thesis delegates physical data management to Berkeley OCT.  This package
+provides the equivalent: a versioned object store with single-assignment
+update semantics, OCT-style ``cell:view:facet`` naming with ``@version``
+suffixes, and simple persistence.
+"""
+
+from repro.octdb.naming import ObjectName, parse_name
+from repro.octdb.database import DesignDatabase, VersionedObject
+
+__all__ = ["ObjectName", "parse_name", "DesignDatabase", "VersionedObject"]

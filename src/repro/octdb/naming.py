@@ -1,0 +1,98 @@
+"""Object naming.
+
+The activity manager accepts three name formats (thesis §5.2):
+
+1. a hierarchical path name, e.g. ``/user/chiueh/Multiplier`` — refers to an
+   object outside the thread workspace that must be imported;
+2. a plain name with an explicit version, e.g. ``ALU.logic@1`` — bypasses the
+   default most-recent-version resolution;
+3. a plain name, e.g. ``ALU.logic`` — resolved against the data scope.
+
+OCT additionally structures plain names as ``cell:view:facet``; we preserve
+that structure when present but treat the whole dotted/colon string as the
+object identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ObjectNameError
+
+VERSION_SEP = "@"
+
+
+@dataclass(frozen=True, order=True)
+class ObjectName:
+    """A parsed object name: base identity plus an optional explicit version."""
+
+    base: str
+    version: int | None = None
+
+    def __post_init__(self):
+        if not self.base:
+            raise ObjectNameError("empty object name")
+        if VERSION_SEP in self.base:
+            raise ObjectNameError(
+                f"base name {self.base!r} must not contain {VERSION_SEP!r}"
+            )
+        if self.version is not None and self.version < 1:
+            raise ObjectNameError(f"version numbers start at 1, got {self.version}")
+
+    @property
+    def is_path(self) -> bool:
+        """True for hierarchical (external) path names."""
+        return self.base.startswith("/")
+
+    @property
+    def cell(self) -> str:
+        """The OCT cell component (text before the first ``:``)."""
+        return self.base.split(":", 1)[0]
+
+    @property
+    def view(self) -> str | None:
+        """The OCT view component, if the name is colon-structured."""
+        parts = self.base.split(":")
+        return parts[1] if len(parts) > 1 else None
+
+    @property
+    def facet(self) -> str | None:
+        """The OCT facet component, if present."""
+        parts = self.base.split(":")
+        return parts[2] if len(parts) > 2 else None
+
+    def at(self, version: int) -> "ObjectName":
+        """This name pinned to an explicit version."""
+        return ObjectName(self.base, version)
+
+    def unversioned(self) -> "ObjectName":
+        """This name with any explicit version stripped."""
+        return ObjectName(self.base, None)
+
+    def __str__(self) -> str:
+        if self.version is None:
+            return self.base
+        return f"{self.base}{VERSION_SEP}{self.version}"
+
+
+def parse_name(text: str) -> ObjectName:
+    """Parse any of the three accepted name formats into an :class:`ObjectName`.
+
+    >>> parse_name("ALU.logic@2")
+    ObjectName(base='ALU.logic', version=2)
+    >>> parse_name("shifter:symbolic:contents").facet
+    'contents'
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ObjectNameError(f"bad object name: {text!r}")
+    text = text.strip()
+    if VERSION_SEP in text:
+        base, _, ver = text.rpartition(VERSION_SEP)
+        if not base:
+            raise ObjectNameError(f"bad object name: {text!r}")
+        try:
+            version = int(ver)
+        except ValueError:
+            raise ObjectNameError(f"bad version in {text!r}") from None
+        return ObjectName(base, version)
+    return ObjectName(text)

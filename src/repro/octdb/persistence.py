@@ -1,0 +1,109 @@
+"""Persistence for the design database and design histories.
+
+The thesis keeps a persistent copy of the design history for inter-process
+communication between the task and activity managers (§5.3) and so that
+reclamation can run as an independent process.  Here persistence is JSON:
+payload classes register a codec (``to_dict``/``from_dict``) under a type tag.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.octdb.database import DesignDatabase, VersionedObject, _Entry, _estimate_size
+from repro.octdb.naming import ObjectName
+
+_ENCODERS: dict[type, tuple[str, Callable[[Any], dict]]] = {}
+_DECODERS: dict[str, Callable[[dict], Any]] = {}
+
+
+def register_payload_codec(
+    cls: type,
+    tag: str,
+    encode: Callable[[Any], dict] | None = None,
+    decode: Callable[[dict], Any] | None = None,
+) -> None:
+    """Register (de)serialization for a payload class.
+
+    Defaults to the class's ``to_dict`` / ``from_dict`` methods.
+    """
+    _ENCODERS[cls] = (tag, encode or (lambda obj: obj.to_dict()))
+    _DECODERS[tag] = decode or cls.from_dict  # type: ignore[attr-defined]
+
+
+def encode_payload(payload: Any) -> Any:
+    """Encode a payload into a JSON-compatible value."""
+    for cls, (tag, encode) in _ENCODERS.items():
+        if isinstance(payload, cls):
+            return {"__type__": tag, "data": encode(payload)}
+    # JSON-native values pass through; anything else is stored by repr only.
+    if isinstance(payload, (type(None), bool, int, float, str, list, dict)):
+        return {"__type__": "json", "data": payload}
+    return {"__type__": "repr", "data": repr(payload)}
+
+
+def decode_payload(blob: Any) -> Any:
+    tag = blob["__type__"]
+    if tag == "json":
+        return blob["data"]
+    if tag == "repr":
+        return blob["data"]
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise KeyError(f"no payload codec registered for type tag {tag!r}")
+    return decoder(blob["data"])
+
+
+def save_database(db: DesignDatabase, path: str | Path) -> None:
+    """Serialize the whole database (including tombstones) to a JSON file."""
+    doc: dict[str, Any] = {"now": db.clock.now, "objects": []}
+    for base, chain in db._versions.items():
+        for entry in chain:
+            record: dict[str, Any] = {
+                "base": base,
+                "deleted_at": entry.deleted_at,
+                "pinned": entry.pinned,
+            }
+            if entry.obj is None:
+                record["reclaimed"] = True
+            else:
+                record.update(
+                    version=entry.obj.version,
+                    created_at=entry.obj.created_at,
+                    creator=entry.obj.creator,
+                    payload=encode_payload(entry.obj.payload),
+                )
+            doc["objects"].append(record)
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+def load_database(path: str | Path, db: DesignDatabase | None = None) -> DesignDatabase:
+    """Reconstruct a database saved by :func:`save_database`."""
+    doc = json.loads(Path(path).read_text())
+    if db is None:   # NB: an empty DesignDatabase is falsy (it has __len__)
+        db = DesignDatabase()
+    db.clock.advance_to(doc.get("now", 0.0))
+    for record in doc["objects"]:
+        chain = db._versions.setdefault(record["base"], [])
+        if record.get("reclaimed"):
+            chain.append(_Entry(obj=None, deleted_at=record["deleted_at"]))  # type: ignore[arg-type]
+            continue
+        payload = decode_payload(record["payload"])
+        obj = VersionedObject(
+            name=ObjectName(record["base"], record["version"]),
+            payload=payload,
+            created_at=record["created_at"],
+            creator=record.get("creator", ""),
+            size=_estimate_size(payload),
+        )
+        chain.append(
+            _Entry(
+                obj=obj,
+                deleted_at=record["deleted_at"],
+                pinned=record.get("pinned", False),
+            )
+        )
+        db._bytes_live += obj.size
+    return db

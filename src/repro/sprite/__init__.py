@@ -1,0 +1,30 @@
+"""Sprite-like distributed workstation substrate.
+
+Papyrus ran on Sprite, whose kernel offered idle-host location, process
+migration, and eviction when a workstation's owner returned.  This package is
+a discrete-event simulator exposing the same contract to the task manager:
+
+* :class:`Cluster.submit` — run a unit of work, on an idle host if one exists,
+  else at home;
+* eviction — when an owner returns, foreign processes migrate back home;
+* re-migration (§4.3.3) — processes stranded at home are periodically
+  re-dispatched to newly idle hosts (Sprite itself lacked this; Papyrus added
+  it, and so do we).
+
+Work is measured in unit-speed compute seconds; a host runs its resident
+processes timeshared, so a loaded home node is genuinely slower — which is
+what makes migration measurably worthwhile in the benchmarks.
+"""
+
+from repro.sprite.host import OwnerSchedule, Workstation
+from repro.sprite.process import ProcessState, SimProcess
+from repro.sprite.cluster import Cluster, ClusterStats
+
+__all__ = [
+    "Cluster",
+    "ClusterStats",
+    "OwnerSchedule",
+    "ProcessState",
+    "SimProcess",
+    "Workstation",
+]

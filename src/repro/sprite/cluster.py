@@ -1,0 +1,293 @@
+"""The cluster simulator.
+
+A work-remaining discrete-event model: on every event (submission,
+completion, owner transition) the simulator charges elapsed compute to every
+running process at its host's timeshared rate, then recomputes the next event
+time.  This keeps the model exact under arbitrary load changes without
+fixed-step ticking.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.clock import GLOBAL_CLOCK, VirtualClock
+from repro.errors import SchedulerError
+from repro.sprite.host import OwnerSchedule, Workstation
+from repro.sprite.process import ProcessState, SimProcess
+
+_EPS = 1e-9
+
+
+@dataclass
+class ClusterStats:
+    """Counters the benchmarks report."""
+
+    submitted: int = 0
+    completed: int = 0
+    killed: int = 0
+    migrations: int = 0
+    evictions: int = 0
+    remigrations: int = 0
+    ran_at_home: int = 0
+    ran_remote: int = 0
+    busy_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class Cluster:
+    """A network of workstations with migration, eviction and re-migration."""
+
+    def __init__(
+        self,
+        hosts: list[Workstation] | None = None,
+        clock: VirtualClock | None = None,
+        remigration: bool = True,
+    ):
+        self.clock = clock or GLOBAL_CLOCK
+        self.hosts: dict[str, Workstation] = {}
+        for host in hosts or [Workstation("home")]:
+            self.add_host(host)
+        self.remigration = remigration
+        self.stats = ClusterStats()
+        self._procs: dict[int, SimProcess] = {}
+        self._pid = itertools.count(1)
+        self._last_charge = self.clock.now
+
+    # ------------------------------------------------------------------ hosts
+
+    def add_host(self, host: Workstation) -> Workstation:
+        if host.name in self.hosts:
+            raise SchedulerError(f"duplicate host {host.name!r}")
+        self.hosts[host.name] = host
+        return host
+
+    @classmethod
+    def homogeneous(
+        cls,
+        n_hosts: int,
+        clock: VirtualClock | None = None,
+        owner_period: float = 0.0,
+        owner_busy: float = 0.0,
+        remigration: bool = True,
+    ) -> "Cluster":
+        """A home node plus ``n_hosts - 1`` colleague workstations.
+
+        ``owner_period``/``owner_busy`` > 0 gives the colleague machines
+        returning owners (staggered offsets) so evictions happen.
+        """
+        hosts = [Workstation("home")]
+        for i in range(max(0, n_hosts - 1)):
+            if owner_period > 0 and owner_busy > 0:
+                schedule = OwnerSchedule(
+                    period=owner_period,
+                    busy=owner_busy,
+                    offset=(i + 1) * owner_period / max(1, n_hosts),
+                )
+            else:
+                schedule = OwnerSchedule()
+            hosts.append(Workstation(f"ws{i + 1:02d}", schedule=schedule))
+        return cls(hosts, clock=clock, remigration=remigration)
+
+    def is_idle(self, host: Workstation) -> bool:
+        """Sprite's idleness rule: owner away and no resident processes."""
+        if host.name == "home":
+            return False
+        return not host.is_owner_busy(self.clock.now) and host.load() == 0
+
+    def find_idle_host(self) -> Workstation | None:
+        for name in sorted(self.hosts):
+            host = self.hosts[name]
+            if self.is_idle(host):
+                return host
+        return None
+
+    # -------------------------------------------------------------- processes
+
+    def submit(
+        self,
+        label: str,
+        work: float,
+        payload: Any = None,
+        migratable: bool = True,
+        priority: int = 0,
+        home: str = "home",
+    ) -> SimProcess:
+        """Start a process: on an idle host if the work is migratable and one
+        exists, otherwise on the home node (§4.3.2)."""
+        if home not in self.hosts:
+            raise SchedulerError(f"unknown home host {home!r}")
+        self._charge_elapsed()
+        target = self.hosts[home]
+        migrated = False
+        if migratable:
+            idle = self.find_idle_host()
+            if idle is not None:
+                target = idle
+                migrated = True
+        proc = SimProcess(
+            pid=next(self._pid),
+            label=label,
+            work=max(work, _EPS),
+            home=home,
+            host=target.name,
+            migratable=migratable,
+            priority=priority,
+            payload=payload,
+            started_at=self.clock.now,
+        )
+        target.resident.add(proc.pid)
+        self._procs[proc.pid] = proc
+        self.stats.submitted += 1
+        if migrated:
+            proc.migrations += 1
+            self.stats.migrations += 1
+            self.stats.ran_remote += 1
+        else:
+            self.stats.ran_at_home += 1
+        return proc
+
+    def kill(self, proc: SimProcess) -> None:
+        if proc.state is not ProcessState.RUNNING:
+            return
+        self._charge_elapsed()
+        proc.state = ProcessState.KILLED
+        proc.finished_at = self.clock.now
+        self.hosts[proc.host].resident.discard(proc.pid)
+        del self._procs[proc.pid]
+        self.stats.killed += 1
+
+    def running(self) -> list[SimProcess]:
+        return sorted(self._procs.values(), key=lambda p: p.pid)
+
+    # ------------------------------------------------------------- accounting
+
+    def _charge_elapsed(self) -> None:
+        """Charge compute progress for the span since the last charge."""
+        now = self.clock.now
+        span = now - self._last_charge
+        if span > _EPS:
+            for proc in self._procs.values():
+                rate = self.hosts[proc.host].rate()
+                proc.work -= span * rate
+                self.stats.busy_seconds[proc.host] = (
+                    self.stats.busy_seconds.get(proc.host, 0.0) + span
+                )
+        self._last_charge = now
+
+    def _next_completion(self) -> tuple[float, SimProcess | None]:
+        best_t, best_p = math.inf, None
+        for proc in self._procs.values():
+            rate = self.hosts[proc.host].rate()
+            t = self.clock.now + proc.work / rate
+            if t < best_t - _EPS or (
+                abs(t - best_t) <= _EPS
+                and (best_p is None or proc.pid < best_p.pid)
+            ):
+                best_t, best_p = t, proc
+        return best_t, best_p
+
+    def _next_owner_transition(self) -> float:
+        best = math.inf
+        for host in self.hosts.values():
+            t = host.schedule.next_transition(self.clock.now)
+            if t is not None and t > self.clock.now + _EPS:
+                best = min(best, t)
+        return best
+
+    # ----------------------------------------------------------------- events
+
+    def _evict(self) -> None:
+        """Owner-return policy: foreign processes go back to their home node."""
+        for host in self.hosts.values():
+            if host.name == "home" or not host.is_owner_busy(self.clock.now):
+                continue
+            for pid in sorted(host.resident):
+                proc = self._procs[pid]
+                if proc.home == host.name:
+                    continue
+                host.resident.discard(pid)
+                self.hosts[proc.home].resident.add(pid)
+                proc.host = proc.home
+                proc.evictions += 1
+                self.stats.evictions += 1
+
+    def remigrate(self) -> int:
+        """Move stranded migratable processes from home to idle hosts
+        (§4.3.3).  Returns how many were moved."""
+        self._charge_elapsed()
+        moved = 0
+        stranded = sorted(
+            (p for p in self._procs.values()
+             if p.is_at_home and p.migratable
+             and self.hosts[p.home].load() > 1),
+            key=lambda p: (-p.priority, p.pid),
+        )
+        for proc in stranded:
+            idle = self.find_idle_host()
+            if idle is None:
+                break
+            self.hosts[proc.host].resident.discard(proc.pid)
+            idle.resident.add(proc.pid)
+            proc.host = idle.name
+            proc.migrations += 1
+            moved += 1
+            self.stats.remigrations += 1
+        return moved
+
+    def step(self) -> list[SimProcess]:
+        """Advance simulated time to the next event; return any completions.
+
+        The next event is whichever comes first: a process finishing or an
+        owner arriving/leaving.  Owner transitions trigger eviction and (if
+        enabled) re-migration, then return an empty completion list.
+        """
+        if not self._procs:
+            raise SchedulerError("no running processes to wait for")
+        t_done, proc = self._next_completion()
+        t_owner = self._next_owner_transition()
+        if t_owner < t_done - _EPS:
+            self.clock.advance_to(t_owner)
+            self._charge_elapsed()
+            self._evict()
+            if self.remigration:
+                self.remigrate()
+            return []
+        assert proc is not None
+        self.clock.advance_to(t_done)
+        self._charge_elapsed()
+        done: list[SimProcess] = []
+        for candidate in list(self._procs.values()):
+            if candidate.work <= _EPS * 10:
+                candidate.state = ProcessState.DONE
+                candidate.finished_at = self.clock.now
+                self.hosts[candidate.host].resident.discard(candidate.pid)
+                del self._procs[candidate.pid]
+                self.stats.completed += 1
+                done.append(candidate)
+        if not done:  # numeric corner: force the chosen one through
+            proc.state = ProcessState.DONE
+            proc.finished_at = self.clock.now
+            self.hosts[proc.host].resident.discard(proc.pid)
+            del self._procs[proc.pid]
+            self.stats.completed += 1
+            done.append(proc)
+        if self.remigration:
+            self.remigrate()
+        return done
+
+    def wait_any(self) -> list[SimProcess]:
+        """Advance until at least one process completes."""
+        while True:
+            done = self.step()
+            if done:
+                return done
+
+    def drain(self) -> list[SimProcess]:
+        """Run everything to completion; return processes in finish order."""
+        finished: list[SimProcess] = []
+        while self._procs:
+            finished.extend(self.wait_any())
+        return finished

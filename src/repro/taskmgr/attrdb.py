@@ -1,0 +1,103 @@
+"""The per-workspace attribute database (§4.3.6).
+
+Objects and attributes are stored separately.  An attribute entry has a name,
+a cached value, and optionally a *computation tool*; values are either
+retrieved directly or computed synchronously on demand and then cached.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import MetadataError
+from repro.octdb.database import DesignDatabase
+from repro.octdb.naming import parse_name
+
+#: An attribute computer: payload -> value.
+Computer = Callable[[Any], Any]
+
+
+class AttributeDatabase:
+    """Attribute storage + on-demand computation for one workspace."""
+
+    def __init__(self, db: DesignDatabase):
+        self.db = db
+        self._values: dict[tuple[str, str], Any] = {}
+        self._computers: dict[str, Computer] = {}
+        self.computations = 0   # instrumentation for the lazy/eager benches
+
+    def register_computer(self, attr: str, computer: Computer) -> None:
+        """Register the tool that evaluates ``attr`` from an object payload."""
+        self._computers[attr] = computer
+
+    def set(self, name: str, attr: str, value: Any) -> None:
+        key = (str(parse_name(name)), attr)
+        self._values[key] = value
+
+    def has(self, name: str, attr: str) -> bool:
+        return (str(parse_name(name)), attr) in self._values
+
+    def get(self, name: str, attr: str) -> Any:
+        """Fetch an attribute, computing (and caching) it if necessary."""
+        oname = parse_name(name)
+        key = (str(oname), attr)
+        if key in self._values:
+            return self._values[key]
+        computer = self._computers.get(attr)
+        if computer is None:
+            raise MetadataError(
+                f"no value or computation tool for attribute {attr!r} "
+                f"of {name!r}"
+            )
+        payload = self.db.get(oname).payload
+        value = computer(payload)
+        self.computations += 1
+        self._values[key] = value
+        return value
+
+
+def standard_computers(attrdb: AttributeDatabase) -> AttributeDatabase:
+    """Install the computers for the synthetic CAD suite's object types."""
+    from repro.cad.layout import Layout, Report
+    from repro.cad.logic import BooleanNetwork, Cover, Pla
+
+    def area(payload):
+        if isinstance(payload, Layout):
+            return float(payload.area)
+        if isinstance(payload, Pla):
+            return float((2 * payload.effective_columns + payload.num_outputs)
+                         * (payload.num_terms + 2) * 16)
+        raise MetadataError(f"no area for {type(payload).__name__}")
+
+    def delay(payload):
+        if isinstance(payload, Layout):
+            return payload.critical_delay()
+        if isinstance(payload, BooleanNetwork):
+            return float(payload.depth)
+        if isinstance(payload, Pla):
+            return 2.0
+        raise MetadataError(f"no delay for {type(payload).__name__}")
+
+    def power(payload):
+        if isinstance(payload, Layout):
+            return payload.power_estimate()
+        raise MetadataError(f"no power for {type(payload).__name__}")
+
+    def literals(payload):
+        if isinstance(payload, (BooleanNetwork, Cover, Pla)):
+            return float(payload.num_literals)
+        raise MetadataError(f"no literals for {type(payload).__name__}")
+
+    def minterms(payload):
+        if isinstance(payload, Cover):
+            return float(payload.num_terms)
+        if isinstance(payload, Pla):
+            return float(payload.num_terms)
+        raise MetadataError(f"no minterms for {type(payload).__name__}")
+
+    attrdb.register_computer("area", area)
+    attrdb.register_computer("delay", delay)
+    attrdb.register_computer("power", power)
+    attrdb.register_computer("literals", literals)
+    attrdb.register_computer("minterms", minterms)
+    return attrdb

@@ -1,0 +1,713 @@
+"""One task instantiation: the execution engine (§4.3).
+
+The engine interprets a template's body with the TDL interpreter.  ``step``
+commands *issue* work and return immediately (out-of-order issue); completed
+steps are harvested from the cluster out of order (out-of-order execution);
+readiness is tracked through the thesis's three lists:
+
+* **Active** — steps currently running on some workstation,
+* **Suspending** — steps whose data or control dependencies are unmet,
+* **Result** — objects produced so far, each tagged with its creating step.
+
+Programmable aborts follow §4.3.4 exactly: every top-level command of a
+template body carries an internal ID (subtask bodies get a prefixed ID path);
+aborting a step restarts interpretation right after its resumed step's
+internal ID, after undoing every step with a larger internal ID.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.cad.registry import ToolCall, ToolRegistry, ToolResult
+from repro.core.history import StepRecord
+from repro.errors import (
+    RestartSignal,
+    TaskAborted,
+    TdlError,
+    TemplateError,
+)
+from repro.octdb.database import DesignDatabase
+from repro.octdb.naming import parse_name
+from repro.sprite.cluster import Cluster
+from repro.sprite.process import SimProcess
+from repro.tdl.interp import Interp
+from repro.tdl.template import (
+    StepSpec,
+    TaskTemplate,
+    TemplateLibrary,
+    parse_step_args,
+    parse_subtask_args,
+)
+
+if TYPE_CHECKING:
+    from repro.taskmgr.attrdb import AttributeDatabase
+
+InternalId = tuple[int, ...]
+
+_instances = itertools.count(1)
+
+#: Callback invoked before each step is dispatched; may return replacement /
+#: additional option tokens (the GUI "New Options" box of §4.3.1).
+Navigator = Callable[[StepSpec, list[str]], list[str] | None]
+
+#: Callback invoked on task restart after an abort; models the user "trying
+#: different parameters" (§3.3.2).  May mutate ``execution.option_overrides``.
+RestartHook = Callable[["TaskExecution", StepSpec], None]
+
+
+@dataclass
+class _Slot:
+    """The binding of one formal object name within one scope."""
+
+    base: str                        # actual base name in the database
+    version: int | None = None       # set once the object exists
+    kind: str = "intermediate"       # input | output | intermediate | external
+    producer: InternalId | None = None
+
+    @property
+    def actual(self) -> str:
+        if self.version is None:
+            raise TemplateError(f"{self.base!r} has no version yet")
+        return f"{self.base}@{self.version}"
+
+
+class _Scope:
+    """A template namespace; subtask expansion creates a child scope."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, prefix: InternalId,
+                 parent: "_Scope | None" = None):
+        self.id = next(self._ids)
+        self.prefix = prefix
+        self.parent = parent
+        self.aliases: dict[str, tuple["_Scope", str]] = {}
+        self.slots: dict[str, _Slot] = {}
+
+    def resolve(self, formal: str) -> tuple["_Scope", str]:
+        scope: _Scope = self
+        name = formal
+        while name in scope.aliases:
+            scope, name = scope.aliases[name]
+        return scope, name
+
+
+@dataclass
+class _Pending:
+    """A step that has been interpreted (it may be waiting or running)."""
+
+    spec: StepSpec
+    internal_id: InternalId
+    scope: _Scope
+    occurrence: int = 0                      # nth admission of this command
+    issue_seq: int = -1                      # set at dispatch
+    proc: SimProcess | None = None
+    result: ToolResult | None = None
+    record: StepRecord | None = None
+    handled_failure: bool = False
+
+    @property
+    def key(self) -> tuple[InternalId, int]:
+        return (self.internal_id, self.occurrence)
+
+    @property
+    def label(self) -> str:
+        return f"{self.spec.name}[{'.'.join(map(str, self.internal_id))}]"
+
+
+class TaskExecution:
+    """State of one task instantiation (one "task manager process")."""
+
+    def __init__(
+        self,
+        template: TaskTemplate,
+        inputs: dict[str, str],
+        outputs: dict[str, str],
+        db: DesignDatabase,
+        registry: ToolRegistry,
+        cluster: Cluster,
+        library: TemplateLibrary,
+        attrdb: "AttributeDatabase | None" = None,
+        navigator: Navigator | None = None,
+        on_restart: RestartHook | None = None,
+        max_restarts: int = 3,
+    ):
+        self.template = template
+        self.db = db
+        self.registry = registry
+        self.cluster = cluster
+        self.library = library
+        self.attrdb = attrdb
+        self.navigator = navigator
+        self.on_restart = on_restart
+        self.max_restarts = max_restarts
+        self.instance = next(_instances)
+
+        self.interp = Interp()
+        self.interp.register("step", self._cmd_step)
+        self.interp.register("subtask", self._cmd_subtask)
+        self.interp.register("abort", self._cmd_abort)
+        self.interp.register("attribute", self._cmd_attribute)
+        self.interp.register("task", self._cmd_nested_task_header)
+        self.interp.read_traces["status"] = self._status_trace
+
+        self.root_scope = _Scope(prefix=())
+        missing = [f for f in template.inputs if f not in inputs]
+        if missing:
+            raise TemplateError(
+                f"task {template.name!r}: missing actual inputs for {missing}"
+            )
+        for formal in template.inputs:
+            name = parse_name(inputs[formal])
+            if name.version is None:
+                name = name.at(self.db.get(name).version)
+            self.root_scope.slots[formal] = _Slot(
+                base=name.base, version=name.version, kind="input"
+            )
+        for formal in template.outputs:
+            base = outputs.get(formal, formal)
+            self.root_scope.slots[formal] = _Slot(base=base, kind="output")
+
+        # The three lists of §4.3.2 (Result is implicit in slot versions).
+        self.active: list[_Pending] = []
+        self.suspending: list[_Pending] = []
+        self.completed: list[_Pending] = []     # in completion order
+        #: formals promised by an interpreted step: (scope id, formal name)
+        self.promised: set[tuple[int, str]] = set()
+        #: declared step IDs → internal IDs, per scope prefix
+        self.declared: dict[tuple[InternalId, int], InternalId] = {}
+        self.completed_ok: set[InternalId] = set()
+        self.created: list[str] = []            # every object version created
+        self.restarts = 0
+        self.aborted_reason: str | None = None
+        self.option_overrides: dict[str, list[str]] = {}
+        self._issue_counter = itertools.count()
+        self._current_id: InternalId = (0,)
+        self._last_admitted: _Pending | None = None
+        #: Admission bookkeeping: re-interpretation after a restart must not
+        #: re-issue steps that survived the undo (idempotent admission).
+        self._admitted: dict[tuple[InternalId, int], _Pending] = {}
+        self._occurrence: dict[InternalId, int] = {}
+        self._scopes: dict[tuple[InternalId, int], _Scope] = {}
+        #: A deferred programmable abort: (failed pending, reason).
+        self._pending_restart: tuple[_Pending, str] | None = None
+
+    # ----------------------------------------------------------------- naming
+
+    def _slot_for(self, scope: _Scope, formal: str) -> _Slot:
+        owner, name = scope.resolve(formal)
+        slot = owner.slots.get(name)
+        if slot is None:
+            # New intermediate: unique base name across concurrent
+            # instantiations (§4.3.4's PID-suffix scheme) and across scopes.
+            base = f"{name}.t{self.instance}s{owner.id}"
+            slot = _Slot(base=base, kind="intermediate")
+            owner.slots[name] = slot
+        return slot
+
+    # ------------------------------------------------------------ TDL hooks
+
+    def _cmd_nested_task_header(self, interp: Interp, args: list[str]) -> str:
+        raise TemplateError(
+            "'task' may only appear as a template's first command"
+        )
+
+    def _cmd_step(self, interp: Interp, args: list[str]) -> str:
+        spec = parse_step_args(args)
+        self._admit_step(spec, self._current_scope)
+        return ""
+
+    def _cmd_subtask(self, interp: Interp, args: list[str]) -> str:
+        spec = parse_subtask_args(args)
+        child_template = self.library.get(spec.name)
+        if len(spec.inputs) != len(child_template.inputs) or \
+                len(spec.outputs) != len(child_template.outputs):
+            raise TemplateError(
+                f"subtask {spec.name!r}: argument lists do not match the "
+                f"task command in its template "
+                f"({len(child_template.inputs)} in / "
+                f"{len(child_template.outputs)} out expected)"
+            )
+        parent_scope = self._current_scope
+        child_prefix = self._current_id
+        occurrence = self._occurrence.get(child_prefix, 0)
+        self._occurrence[child_prefix] = occurrence + 1
+        # Scopes are reused across restart re-interpretations so that slots
+        # bound by surviving steps stay bound.
+        scope_key = (child_prefix, occurrence)
+        child_scope = self._scopes.get(scope_key)
+        if child_scope is None:
+            child_scope = _Scope(prefix=child_prefix, parent=parent_scope)
+            self._scopes[scope_key] = child_scope
+            for child_formal, parent_formal in zip(
+                child_template.inputs + child_template.outputs,
+                spec.inputs + spec.outputs,
+            ):
+                child_scope.aliases[child_formal] = (parent_scope,
+                                                     parent_formal)
+        if spec.declared_id is not None:
+            self.declared[(parent_scope.prefix, spec.declared_id)] = \
+                self._current_id
+        # In-line expansion (§4.2.2): interpret the child body here, with
+        # internal IDs prefixed by this command's ID.
+        self._run_body(child_template.body_commands, child_scope)
+        return ""
+
+    def _cmd_abort(self, interp: Interp, args: list[str]) -> str:
+        if not args:
+            self._abort_task("explicit abort command")
+        target = args[0]
+        pending = self._find_step(target)
+        if pending is None:
+            raise TdlError(f"abort: no step {target!r}")
+        self._programmable_abort(pending, reason="explicit abort")
+        return ""
+
+    def _cmd_attribute(self, interp: Interp, args: list[str]) -> str:
+        if len(args) != 2:
+            raise TdlError("attribute needs: attribute Object_Name Attr_Name")
+        if self.attrdb is None:
+            raise TdlError("no attribute database configured")
+        object_name, attr = args
+        scope, formal = self._current_scope.resolve(object_name)
+        slot = scope.slots.get(formal)
+        if slot is None and self.db.exists(object_name):
+            return self._format_attr(self.attrdb.get(object_name, attr))
+        if slot is not None:
+            # Synchronous semantics (§4.3.6): wait until every in-flight
+            # producer of this object has completed, so the attribute is read
+            # off the freshest version.
+            self._drain_until(
+                lambda: slot.version is not None
+                and not self._in_flight_producers(scope, formal)
+            )
+        actual = slot.actual if slot is not None else object_name
+        return self._format_attr(self.attrdb.get(actual, attr))
+
+    @staticmethod
+    def _format_attr(value) -> str:
+        if isinstance(value, float) and value == int(value):
+            return str(int(value))
+        return str(value)
+
+    def _in_flight_producers(self, scope: _Scope, formal: str) -> bool:
+        owner, name = scope.resolve(formal)
+        for pending in self.active + self.suspending:
+            for out in pending.spec.outputs:
+                o_scope, o_name = pending.scope.resolve(out)
+                if o_scope is owner and o_name == name:
+                    return True
+        return False
+
+    def _status_trace(self, interp: Interp) -> None:
+        """Reading ``$status`` synchronizes with the most recently admitted
+        step (in program order), then exposes *its* exit status — the
+        sequential semantics the thesis assumes for TDL conditionals."""
+        last = self._last_admitted
+        if last is None:
+            interp.set_var("status", "0")
+            return
+        self._drain_until(lambda: last.result is not None)
+        assert last.result is not None
+        interp.set_var("status", str(last.result.status))
+        for pending in self.completed:
+            if pending.result is not None and pending.result.status != 0:
+                pending.handled_failure = True
+
+    # --------------------------------------------------------------- stepping
+
+    def _admit_step(self, spec: StepSpec, scope: _Scope) -> None:
+        occurrence = self._occurrence.get(self._current_id, 0)
+        self._occurrence[self._current_id] = occurrence + 1
+        if spec.declared_id is not None:
+            self.declared[(scope.prefix, spec.declared_id)] = self._current_id
+        existing = self._admitted.get((self._current_id, occurrence))
+        if existing is not None:
+            # Re-interpretation after a restart: this step survived the undo.
+            # Keep sequential $status semantics pointing at it.
+            self._last_admitted = existing
+            if existing.result is not None:
+                self.interp.set_var("status", str(existing.result.status))
+            return
+        pending = _Pending(spec=spec, internal_id=self._current_id,
+                           scope=scope, occurrence=occurrence)
+        self._admitted[pending.key] = pending
+        self._last_admitted = pending
+        for formal in spec.outputs:
+            owner, name = scope.resolve(formal)
+            self.promised.add((owner.id, name))
+            self._slot_for(scope, formal)  # allocate the slot eagerly
+        if self._ready(pending):
+            self._dispatch(pending)
+        else:
+            self.suspending.append(pending)
+
+    def _ready(self, pending: _Pending) -> bool:
+        for formal in pending.spec.inputs:
+            owner, name = pending.scope.resolve(formal)
+            slot = owner.slots.get(name)
+            if slot is not None and slot.version is not None:
+                continue
+            if (owner.id, name) in self.promised:
+                return False
+            # Neither bound nor promised: maybe a direct database reference.
+            if self.db.exists(name):
+                owner.slots[name] = _Slot(
+                    base=parse_name(name).base,
+                    version=self.db.get(name).version,
+                    kind="external",
+                )
+                continue
+            return False
+        for dep in pending.spec.control_deps:
+            internal = self.declared.get((pending.scope.prefix, dep))
+            if internal is None or internal not in self.completed_ok:
+                return False
+        return True
+
+    def _dispatch(self, pending: _Pending) -> None:
+        spec = pending.spec
+        inputs: list[Any] = []
+        input_actuals: list[str] = []
+        actual_of: dict[str, str] = {}
+        for formal in spec.inputs:
+            slot = self._slot_for(pending.scope, formal)
+            obj = self.db.get(slot.actual)
+            inputs.append(obj.payload)
+            input_actuals.append(slot.actual)
+            actual_of[formal] = slot.actual
+        output_bases: list[str] = []
+        for formal in spec.outputs:
+            slot = self._slot_for(pending.scope, formal)
+            output_bases.append(slot.base)
+            actual_of[formal] = slot.base
+        tokens = spec.invocation.split()
+        if not tokens:
+            raise TemplateError(f"step {spec.name!r} has no invocation details")
+        tool_name = tokens[0]
+        options = [actual_of.get(tok, tok) for tok in tokens[1:]]
+        if self.navigator is not None:
+            chosen = self.navigator(spec, list(options))
+            if chosen is not None:
+                options = chosen
+        options += self.option_overrides.get(spec.name, [])
+        call = ToolCall(
+            tool=tool_name,
+            options=tuple(options),
+            inputs=tuple(inputs),
+            input_names=tuple(input_actuals),
+            output_names=tuple(output_bases),
+        )
+        tool = self.registry.get(tool_name)
+        duration = tool.estimate_runtime(call)
+        pending.issue_seq = next(self._issue_counter)
+        pending.proc = self.cluster.submit(
+            label=pending.label,
+            work=duration,
+            payload=(self, pending, call),
+            migratable=spec.migratable and tool.migratable
+            and not tool.interactive,
+            priority=spec.priority,
+        )
+        self.active.append(pending)
+
+    # ------------------------------------------------------------ completion
+
+    def _drain_until(self, condition: Callable[[], bool]) -> None:
+        while not condition():
+            if not self.active:
+                raise TemplateError(
+                    "deadlock: waiting on steps that can never complete"
+                )
+            self._harvest(self.cluster.wait_any())
+
+    def _harvest(self, done: list[SimProcess]) -> None:
+        """Route completed processes to the executions that own them.
+
+        Under concurrent instantiations (several task managers sharing the
+        cluster, §3.3.4), a drain performed by one execution may surface
+        completions belonging to another; each is absorbed by its owner.
+        """
+        for proc in done:
+            payload = proc.payload
+            if payload is None or len(payload) != 3:
+                continue
+            owner, pending, call = payload
+            owner._absorb(pending, call, proc)
+        if self._pending_restart is not None:
+            pending, reason = self._pending_restart
+            self._pending_restart = None
+            self._programmable_abort(pending, reason)
+
+    def _absorb(self, pending: "_Pending", call: ToolCall,
+                proc: SimProcess) -> None:
+        if pending not in self.active:
+            return
+        self.active.remove(pending)
+        result = self.registry.run(call)
+        pending.result = result
+        started = proc.started_at
+        finished = proc.finished_at or self.cluster.clock.now
+        outputs_created: list[str] = []
+        if result.ok:
+            for formal in pending.spec.outputs:
+                slot = self._slot_for(pending.scope, formal)
+                obj = self.db.put(
+                    slot.base,
+                    result.outputs[slot.base],
+                    creator=pending.spec.tool,
+                )
+                slot.version = obj.version
+                slot.producer = pending.internal_id
+                self.created.append(str(obj.name))
+                outputs_created.append(str(obj.name))
+            self.completed_ok.add(pending.internal_id)
+        pending.record = StepRecord(
+            name=pending.spec.name,
+            tool=call.tool,
+            options=call.options,
+            inputs=call.input_names,
+            outputs=tuple(outputs_created),
+            host=proc.host,
+            started_at=started,
+            completed_at=finished,
+            status=result.status,
+        )
+        self.completed.append(pending)
+        self.interp.set_var("status", str(result.status))
+        if not result.ok:
+            self._handle_failure(pending)
+        else:
+            self._wake_suspended()
+
+    def _wake_suspended(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            for pending in list(self.suspending):
+                if self._ready(pending):
+                    self.suspending.remove(pending)
+                    self._dispatch(pending)
+                    progressed = True
+
+    # ------------------------------------------------------------------ abort
+
+    def _find_step(self, target: str) -> _Pending | None:
+        everywhere = self.completed + self.active + self.suspending
+        try:
+            declared = int(target)
+        except ValueError:
+            declared = None
+        for pending in everywhere:
+            if pending.spec.name == target:
+                return pending
+            if declared is not None and pending.spec.declared_id == declared:
+                return pending
+        return None
+
+    def _handle_failure(self, pending: _Pending) -> None:
+        if pending.spec.resumed_step is not None:
+            # A programmed abort point: restart at the next safe moment —
+            # the flag is consumed by this execution's own drive loop, so a
+            # concurrent sibling's drain never unwinds our stack (§4.3.4).
+            self._pending_restart = (
+                pending, f"step failed: {pending.result.log}"
+            )
+        # Otherwise the failure is deferred: the template may branch on
+        # $status; unhandled failures are dealt with at end of body.
+
+    def _resumed_internal_id(self, pending: _Pending) -> InternalId | None:
+        """Map a step's resumed-step spec to an internal ID (None = scratch)."""
+        resumed = pending.spec.resumed_step
+        if resumed in (None, 0):
+            return None
+        if resumed == "latest":
+            done = [p for p in self.completed
+                    if p.result is not None and p.result.ok]
+            if not done:
+                return None
+            return done[-1].internal_id
+        internal = self.declared.get((pending.scope.prefix, int(resumed)))
+        if internal is None:
+            raise TemplateError(
+                f"step {pending.spec.name!r}: resumed step {resumed} is not "
+                "a declared top-level step of its template"
+            )
+        if not internal < pending.internal_id:
+            raise TemplateError(
+                f"step {pending.spec.name!r}: resumed step {resumed} is not "
+                "a logical predecessor"
+            )
+        return internal
+
+    def _programmable_abort(self, pending: _Pending, reason: str) -> None:
+        """Restart the task from the failed step's resumed task state.
+
+        The §4.3.4 rule: undo every step with a larger internal ID than the
+        resumed step, then re-interpret the template.  Re-interpretation
+        always starts at the top; surviving steps are skipped by idempotent
+        admission, which handles resumed steps buried in subtasks and loops
+        uniformly.
+        """
+        if self.restarts >= self.max_restarts:
+            self._abort_task(
+                f"{reason} (gave up after {self.restarts} restarts)"
+            )
+        self.restarts += 1
+        resumed = self._resumed_internal_id(pending)
+        if self.on_restart is not None:
+            self.on_restart(self, pending.spec)
+        self._undo_after(resumed if resumed is not None else ())
+        raise RestartSignal(prefix=(), index=-1)
+
+    def _undo_after(self, internal_id: InternalId) -> None:
+        """Undo every step whose internal ID is larger than ``internal_id``
+        (the §4.3.4 restart rule); () undoes everything."""
+
+        def later(candidate: InternalId) -> bool:
+            return candidate > internal_id
+
+        for pending in [p for p in self.active if later(p.internal_id)]:
+            if pending.proc is not None:
+                self.cluster.kill(pending.proc)
+            self.active.remove(pending)
+        self.suspending = [
+            p for p in self.suspending if not later(p.internal_id)
+        ]
+        for pending in [p for p in self.completed if later(p.internal_id)]:
+            self.completed.remove(pending)
+            self.completed_ok.discard(pending.internal_id)
+            for formal in pending.spec.outputs:
+                owner, name = pending.scope.resolve(formal)
+                slot = owner.slots.get(name)
+                if slot is not None and slot.version is not None:
+                    actual = slot.actual
+                    if self.db.exists(actual) and not self.db.is_deleted(actual):
+                        self.db.delete(actual)
+                    if actual in self.created:
+                        self.created.remove(actual)
+                    slot.version = None
+                    slot.producer = None
+                self.promised.add((owner.id, name))
+        # Undone steps must be re-admitted on re-interpretation.
+        for key in [k for k, p in self._admitted.items()
+                    if later(p.internal_id)]:
+            del self._admitted[key]
+        self._last_admitted = None
+
+    def _abort_task(self, reason: str) -> None:
+        """Remove every side effect and terminate the instantiation."""
+        for pending in self.active:
+            if pending.proc is not None:
+                self.cluster.kill(pending.proc)
+        self.active.clear()
+        self.suspending.clear()
+        for name in self.created:
+            if self.db.exists(name) and not self.db.is_deleted(name):
+                self.db.delete(name)
+        self.aborted_reason = reason
+        raise TaskAborted(self.template.name, reason=reason)
+
+    # -------------------------------------------------------------------- run
+
+    @property
+    def _current_scope(self) -> _Scope:
+        return self._scope_stack[-1]
+
+    def run(self) -> None:
+        """Interpret the template body to completion (or TaskAborted)."""
+        while True:
+            try:
+                self._interpret()
+                self._finish()
+                return
+            except RestartSignal:
+                continue
+
+    def _interpret(self) -> None:
+        """(Re-)interpret the whole template body from the top.
+
+        Variables are reset and command-occurrence counters cleared; steps
+        that survived the last undo are skipped by idempotent admission, so
+        re-interpretation lands exactly on the resumed task state.
+        """
+        self.interp.reset_variables()
+        self._occurrence.clear()
+        self._scope_stack = [self.root_scope]
+        self._run_body(self.template.body_commands, self.root_scope)
+
+    def _run_body(self, commands: tuple[str, ...], scope: _Scope) -> None:
+        prefix = scope.prefix
+        self._scope_stack.append(scope)
+        try:
+            for index, command in enumerate(commands):
+                self._current_id = prefix + (index,)
+                self.interp.eval_command(command)
+                self._current_id = prefix + (index,)
+        finally:
+            self._scope_stack.pop()
+
+    def _finish(self) -> None:
+        """End-of-body: drain the cluster, then settle failures and outputs."""
+        while True:
+            if self._pending_restart is not None:
+                pending, reason = self._pending_restart
+                self._pending_restart = None
+                self._programmable_abort(pending, reason)
+            while self.active:
+                self._harvest(self.cluster.wait_any())
+            unhandled = [
+                p for p in self.completed
+                if p.result is not None and p.result.status != 0
+                and not p.handled_failure and p.spec.resumed_step is None
+            ]
+            if unhandled:
+                failed = unhandled[-1]
+                if self.restarts >= self.max_restarts:
+                    self._abort_task(
+                        f"step {failed.spec.name!r} failed and was never "
+                        f"handled: {failed.result.log}"
+                    )
+                # Compulsory abort with the default resumed state (scratch).
+                self.restarts += 1
+                if self.on_restart is not None:
+                    self.on_restart(self, failed.spec)
+                self._undo_after(())
+                raise RestartSignal(prefix=(), index=-1)
+            if self.suspending:
+                names = [p.spec.name for p in self.suspending]
+                self._abort_task(
+                    f"steps never became ready: {names} (missing inputs or "
+                    "failed control dependencies)"
+                )
+            break
+        missing = [
+            formal for formal in self.template.outputs
+            if self.root_scope.slots[formal].version is None
+        ]
+        if missing:
+            self._abort_task(f"task outputs never produced: {missing}")
+
+    # ---------------------------------------------------------------- results
+
+    def task_inputs(self) -> tuple[str, ...]:
+        return tuple(
+            self.root_scope.slots[f].actual for f in self.template.inputs
+        )
+
+    def task_outputs(self) -> tuple[str, ...]:
+        return tuple(
+            self.root_scope.slots[f].actual for f in self.template.outputs
+        )
+
+    def step_records(self) -> tuple[StepRecord, ...]:
+        return tuple(
+            p.record for p in self.completed if p.record is not None
+        )
+
+    def intermediate_names(self) -> list[str]:
+        outputs = set(self.task_outputs())
+        return [name for name in self.created if name not in outputs]

@@ -1,0 +1,159 @@
+"""The TaskManager facade.
+
+The activity manager spawns one of these per task invocation (in the thesis,
+a forked child process).  On success it packages the operation history into a
+:class:`HistoryRecord` and removes intermediate objects; on abort it removes
+every side effect and raises :class:`TaskAborted` — no history record is
+produced (§4.1).
+"""
+
+from __future__ import annotations
+
+from repro.cad.registry import ToolRegistry
+from repro.clock import GLOBAL_CLOCK, VirtualClock
+from repro.core.history import HistoryRecord
+from repro.errors import TaskAborted
+from repro.octdb.database import DesignDatabase
+from repro.sprite.cluster import Cluster
+from repro.taskmgr.attrdb import AttributeDatabase
+from repro.taskmgr.execution import Navigator, RestartHook, TaskExecution
+from repro.tdl.template import TemplateLibrary
+
+
+class TaskManager:
+    """Runs task templates over a database, tool registry and cluster."""
+
+    def __init__(
+        self,
+        db: DesignDatabase,
+        registry: ToolRegistry,
+        library: TemplateLibrary,
+        cluster: Cluster | None = None,
+        attrdb: AttributeDatabase | None = None,
+        clock: VirtualClock | None = None,
+        navigator: Navigator | None = None,
+        on_restart: RestartHook | None = None,
+        max_restarts: int = 3,
+    ):
+        self.db = db
+        self.registry = registry
+        self.library = library
+        self.clock = clock or GLOBAL_CLOCK
+        self.cluster = cluster or Cluster.homogeneous(1, clock=self.clock)
+        self.attrdb = attrdb or AttributeDatabase(db)
+        self.navigator = navigator
+        self.on_restart = on_restart
+        self.max_restarts = max_restarts
+        self.executions: list[TaskExecution] = []
+
+    def run_task(
+        self,
+        name: str,
+        inputs: dict[str, str] | None = None,
+        outputs: dict[str, str] | None = None,
+        keep_intermediates: bool = False,
+    ) -> HistoryRecord:
+        """Instantiate and run a task template to commit.
+
+        ``inputs`` maps the template's input formals to actual (resolved,
+        versioned) object names; ``outputs`` maps output formals to the base
+        names under which results are stored (defaults to the formal names).
+        Returns the task's history record; raises :class:`TaskAborted` if the
+        task could not be completed.
+        """
+        template = self.library.get(name)
+        execution = TaskExecution(
+            template=template,
+            inputs=inputs or {},
+            outputs=outputs or {},
+            db=self.db,
+            registry=self.registry,
+            cluster=self.cluster,
+            library=self.library,
+            attrdb=self.attrdb,
+            navigator=self.navigator,
+            on_restart=self.on_restart,
+            max_restarts=self.max_restarts,
+        )
+        self.executions.append(execution)
+        execution.run()   # raises TaskAborted on failure
+        record = HistoryRecord(
+            task=template.name,
+            inputs=execution.task_inputs(),
+            outputs=execution.task_outputs(),
+            steps=execution.step_records(),
+            recorded_at=self.clock.now,
+        )
+        self._commit(execution, record, keep_intermediates)
+        return record
+
+    def _commit(self, execution: TaskExecution, record: HistoryRecord,
+                keep_intermediates: bool) -> None:
+        # Maintain the task abstraction (§4.3.5): hide internal side effects
+        # by removing intermediates; protect the real outputs.
+        for output in record.outputs:
+            self.db.pin(output)
+        if not keep_intermediates:
+            for name_ in execution.intermediate_names():
+                if self.db.exists(name_) and not self.db.is_deleted(name_):
+                    self.db.delete(name_)
+
+    def run_concurrent(
+        self,
+        requests: list[tuple[str, dict[str, str], dict[str, str]]],
+        keep_intermediates: bool = False,
+    ) -> list[HistoryRecord]:
+        """Run several task instantiations concurrently on the shared
+        network (§3.3.4: multiple active instantiations at once).
+
+        All templates are interpreted first — out-of-order issue floods the
+        cluster with every ready step from every task — then the pool drains
+        with completions routed to their owning instantiations.  Returns one
+        history record per request, in request order.
+        """
+        from repro.errors import RestartSignal
+
+        executions: list[TaskExecution] = []
+        for name, inputs, outputs in requests:
+            template = self.library.get(name)
+            execution = TaskExecution(
+                template=template, inputs=inputs or {}, outputs=outputs or {},
+                db=self.db, registry=self.registry, cluster=self.cluster,
+                library=self.library, attrdb=self.attrdb,
+                navigator=self.navigator, on_restart=self.on_restart,
+                max_restarts=self.max_restarts,
+            )
+            self.executions.append(execution)
+            executions.append(execution)
+        # Phase 1: interpret every body (issues steps; may already drain).
+        for execution in executions:
+            while True:
+                try:
+                    execution._interpret()
+                    break
+                except RestartSignal:
+                    continue
+        # Phase 2: settle each task (failures/restarts handled per owner).
+        records: list[HistoryRecord] = []
+        for execution in executions:
+            while True:
+                try:
+                    execution._finish()
+                    break
+                except RestartSignal:
+                    while True:
+                        try:
+                            execution._interpret()
+                            break
+                        except RestartSignal:
+                            continue
+            record = HistoryRecord(
+                task=execution.template.name,
+                inputs=execution.task_inputs(),
+                outputs=execution.task_outputs(),
+                steps=execution.step_records(),
+                recorded_at=self.clock.now,
+            )
+            self._commit(execution, record, keep_intermediates)
+            records.append(record)
+        return records

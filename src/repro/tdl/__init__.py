@@ -1,0 +1,19 @@
+"""The Task Description Language (TDL).
+
+TDL is "Tcl plus five commands" (thesis Ch. 4).  This package contains a
+from-scratch interpreter for the Tcl subset the thesis relies on — everything
+is a string; words are built by brace/quote grouping with variable and
+command substitution; ``expr`` evaluates C-like expressions; control
+constructs (``if``, ``while``, ``for``, ``foreach``, ``proc``) are ordinary
+commands — plus the TDL template model (``task`` / ``step`` / ``subtask`` /
+``abort`` / ``attribute``).
+
+The five TDL commands themselves are *registered by the task manager*, which
+closes them over a running task execution; this module only provides their
+argument parsing and the static template representation.
+"""
+
+from repro.tdl.interp import Interp
+from repro.tdl.template import StepSpec, TaskTemplate, TemplateLibrary
+
+__all__ = ["Interp", "StepSpec", "TaskTemplate", "TemplateLibrary"]

@@ -1,0 +1,241 @@
+"""The Tcl expression evaluator.
+
+``expr`` (and the conditions of ``if``/``while``/``for``) evaluate C-like
+expressions.  Operands are integers, floats, quoted strings, parenthesised
+sub-expressions, ``$variables`` and ``[command]`` substitutions (resolved by
+the caller via a substitution callback before parsing, exactly like Tcl,
+which substitutes then parses).
+
+Precedence (high to low): unary ``- ! ~``; ``* / %``; ``+ -``; ``<< >>``;
+``< <= > >=``; ``== !=``; ``&``; ``^``; ``|``; ``&&``; ``||``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TdlError
+
+_TWO_CHAR = ("<<", ">>", "<=", ">=", "==", "!=", "&&", "||")
+
+
+def tokenize_expr(text: str) -> list[str]:
+    tokens: list[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch in " \t\n":
+            i += 1
+            continue
+        pair = text[i:i + 2]
+        if pair in _TWO_CHAR:
+            tokens.append(pair)
+            i += 2
+            continue
+        if ch in "+-*/%()<>!~&^|":
+            tokens.append(ch)
+            i += 1
+            continue
+        if ch == '"':
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise TdlError(f"unterminated string in expression {text!r}")
+            tokens.append('"' + text[i + 1:j])
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(text[i:j])
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_."):
+                j += 1
+            tokens.append('"' + text[i:j])  # bare word -> string operand
+            i = j
+            continue
+        raise TdlError(f"bad character {ch!r} in expression {text!r}")
+    return tokens
+
+
+Number = int | float
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def take(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise TdlError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    # precedence-climbing over binary operator tiers
+    _TIERS: list[tuple[str, ...]] = [
+        ("||",), ("&&",), ("|",), ("^",), ("&",),
+        ("==", "!="), ("<", "<=", ">", ">="),
+        ("<<", ">>"), ("+", "-"), ("*", "/", "%"),
+    ]
+
+    def parse(self) -> Number | str:
+        value = self._tier(0)
+        if self.peek() is not None:
+            raise TdlError(f"trailing tokens in expression: {self.tokens[self.pos:]}")
+        return value
+
+    def _tier(self, level: int):
+        if level >= len(self._TIERS):
+            return self._unary()
+        ops = self._TIERS[level]
+        left = self._tier(level + 1)
+        while self.peek() in ops:
+            op = self.take()
+            right = self._tier(level + 1)
+            left = _apply(op, left, right)
+        return left
+
+    def _unary(self):
+        tok = self.peek()
+        if tok == "-":
+            self.take()
+            return -_as_number(self._unary())
+        if tok == "+":
+            self.take()
+            return _as_number(self._unary())
+        if tok == "!":
+            self.take()
+            return 0 if _truth(self._unary()) else 1
+        if tok == "~":
+            self.take()
+            return ~_as_int(self._unary())
+        if tok == "(":
+            self.take()
+            value = self._tier(0)
+            if self.take() != ")":
+                raise TdlError("missing ')' in expression")
+            return value
+        tok = self.take()
+        if tok.startswith('"'):
+            return tok[1:]
+        try:
+            return int(tok)
+        except ValueError:
+            try:
+                return float(tok)
+            except ValueError:
+                raise TdlError(f"bad operand {tok!r}") from None
+
+
+def _as_number(value) -> Number:
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        try:
+            return float(value)
+        except (TypeError, ValueError):
+            raise TdlError(f"expected number, got {value!r}") from None
+
+
+def _as_int(value) -> int:
+    num = _as_number(value)
+    if isinstance(num, float):
+        if num != int(num):
+            raise TdlError(f"expected integer, got {num!r}")
+        return int(num)
+    return num
+
+
+def _truth(value) -> bool:
+    if isinstance(value, str):
+        try:
+            return _as_number(value) != 0
+        except TdlError:
+            return bool(value)
+    return value != 0
+
+
+def _apply(op: str, left, right):
+    if op in ("==", "!="):
+        if isinstance(left, str) or isinstance(right, str):
+            try:
+                ln, rn = _as_number(left), _as_number(right)
+                equal = ln == rn
+            except TdlError:
+                equal = str(left) == str(right)
+        else:
+            equal = left == right
+        return int(equal if op == "==" else not equal)
+    if op == "&&":
+        return int(_truth(left) and _truth(right))
+    if op == "||":
+        return int(_truth(left) or _truth(right))
+    ln, rn = _as_number(left), _as_number(right)
+    if op == "+":
+        return ln + rn
+    if op == "-":
+        return ln - rn
+    if op == "*":
+        return ln * rn
+    if op == "/":
+        if rn == 0:
+            raise TdlError("division by zero")
+        if isinstance(ln, int) and isinstance(rn, int):
+            return ln // rn
+        return ln / rn
+    if op == "%":
+        return _as_int(ln) % _as_int(rn)
+    if op == "<":
+        return int(ln < rn)
+    if op == "<=":
+        return int(ln <= rn)
+    if op == ">":
+        return int(ln > rn)
+    if op == ">=":
+        return int(ln >= rn)
+    if op == "<<":
+        return _as_int(ln) << _as_int(rn)
+    if op == ">>":
+        return _as_int(ln) >> _as_int(rn)
+    if op == "&":
+        return _as_int(ln) & _as_int(rn)
+    if op == "^":
+        return _as_int(ln) ^ _as_int(rn)
+    if op == "|":
+        return _as_int(ln) | _as_int(rn)
+    raise TdlError(f"unknown operator {op!r}")
+
+
+def evaluate(text: str) -> Number | str:
+    """Evaluate an already-substituted expression string."""
+    tokens = tokenize_expr(text)
+    if not tokens:
+        raise TdlError("empty expression")
+    return _Parser(tokens).parse()
+
+
+def format_result(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(value)  # Tcl prints 4.0 as 4.0
+        return repr(value)
+    return str(value)
+
+
+def truthy(value) -> bool:
+    """Public truth test used by if/while/for conditions."""
+    return _truth(value)

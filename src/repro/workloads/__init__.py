@@ -1,0 +1,6 @@
+"""Workloads: the thesis's task templates, input designs, and scenarios."""
+
+from repro.workloads.templates import standard_library
+from repro.workloads.designs import seed_designs
+
+__all__ = ["standard_library", "seed_designs"]

@@ -1,0 +1,97 @@
+"""Parameterized synthetic project generation for scale experiments.
+
+Deterministic (seeded xorshift) generators producing projects of arbitrary
+size: design specs, randomized task invocation sequences with reworks, and
+long control streams — the feedstock for the scale benchmark that checks
+Papyrus's bookkeeping stays cheap as a project grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import Papyrus
+from repro.activity.manager import ActivityManager
+from repro.cad.logic import BehavioralSpec
+
+
+class _Rand:
+    """xorshift32: deterministic randomness without the random module."""
+
+    def __init__(self, seed: int):
+        self.state = (seed or 1) & 0xFFFFFFFF
+
+    def next(self) -> int:
+        s = self.state
+        s ^= (s << 13) & 0xFFFFFFFF
+        s ^= s >> 17
+        s ^= (s << 5) & 0xFFFFFFFF
+        self.state = s
+        return s
+
+    def below(self, n: int) -> int:
+        return self.next() % max(1, n)
+
+    def choice(self, items):
+        return items[self.below(len(items))]
+
+
+KINDS = ("adder", "shifter", "parity", "comparator", "counter")
+
+
+@dataclass
+class GeneratedProject:
+    papyrus: Papyrus
+    designer: ActivityManager
+    commits: int = 0
+    reworks: int = 0
+    branch_points: list[int] = field(default_factory=list)
+
+
+def generate_project(
+    commits: int,
+    seed: int = 1,
+    rework_every: int = 7,
+    hosts: int = 2,
+) -> GeneratedProject:
+    """Drive one thread through ``commits`` task invocations with periodic
+    reworks, deterministically from ``seed``."""
+    rand = _Rand(seed)
+    papyrus = Papyrus.standard(hosts=hosts, seed=False)
+    db = papyrus.db
+    for kind in KINDS:
+        db.put(f"{kind}.spec", BehavioralSpec(kind, kind, 3 + rand.below(2)))
+    designer = papyrus.open_thread("generated")
+    project = GeneratedProject(papyrus=papyrus, designer=designer)
+
+    designer.invoke("Create_Logic_Description",
+                    {"Spec": f"{rand.choice(KINDS)}.spec"},
+                    {"Outcell": "g.logic"})
+    project.commits += 1
+    while project.commits < commits:
+        if project.commits % rework_every == 0:
+            points = designer.thread.stream.points()
+            target = points[rand.below(len(points))]
+            designer.move_cursor(target)
+            project.reworks += 1
+            project.branch_points.append(target)
+        choice = rand.below(3)
+        out = f"g.o{project.commits}"
+        try:
+            if choice == 0:
+                designer.invoke("Standard_Cell_PR", {"Incell": "g.logic"},
+                                {"Outcell": out})
+            elif choice == 1:
+                designer.invoke("Padp", {"Incell": "g.logic"},
+                                {"Outcell": out})
+            else:
+                designer.invoke("PLA_Generation", {"Incell": "g.logic"},
+                                {"Outcell": out})
+        except Exception:
+            # a rework may have landed where g.logic is invisible; check it
+            # back in (the generator only cares about history shape)
+            designer.thread.check_in(f"g.logic@1")
+            continue
+        project.commits += 1
+        papyrus.clock.advance(3600.0)
+    return project

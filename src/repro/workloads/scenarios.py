@@ -1,0 +1,120 @@
+"""Scripted designer sessions.
+
+Reproducible interactive scenarios standing in for the thesis's human
+designers.  Each function drives a :class:`Papyrus` installation through a
+storyline from the dissertation and returns the handles the caller needs.
+Benchmarks, integration tests and examples share these so the storylines
+stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import Papyrus
+from repro.activity.manager import ActivityManager
+
+
+@dataclass
+class ExplorationOutcome:
+    """Handles from the Fig 3.7 shifter-exploration storyline."""
+
+    designer: ActivityManager
+    sim_point: int          # design point 2: after logic simulation
+    sc_point: int           # tip of the standard-cell branch
+    pla_point: int          # tip of the PLA branch
+
+
+def shifter_exploration(papyrus: Papyrus,
+                        thread_name: str = "Shifter-synthesis",
+                        design: str = "shifter") -> ExplorationOutcome:
+    """Fig 3.7: create, simulate, explore standard-cell, rework, explore PLA."""
+    designer = papyrus.open_thread(thread_name, owner="chiueh")
+    designer.invoke("Create_Logic_Description", {"Spec": f"{design}.spec"},
+                    {"Outcell": f"{design}.logic"})
+    sim_point = designer.invoke(
+        "Logic_Simulator",
+        {"Incell": f"{design}.logic", "Command": "musa.cmd"},
+        {"Report": f"{design}.sim"},
+    )
+    designer.invoke("Standard_Cell_PR", {"Incell": f"{design}.logic"},
+                    {"Outcell": f"{design}.sc"})
+    sc_point = designer.invoke("Padp", {"Incell": f"{design}.sc"},
+                               {"Outcell": f"{design}.sc.pad"})
+    designer.move_cursor(sim_point)
+    designer.invoke("PLA_Generation", {"Incell": f"{design}.logic"},
+                    {"Outcell": f"{design}.pla"},
+                    annotation="The Start of PLA Approach")
+    pla_point = designer.invoke("Padp", {"Incell": f"{design}.pla"},
+                                {"Outcell": f"{design}.pla.pad"})
+    return ExplorationOutcome(designer=designer, sim_point=sim_point,
+                              sc_point=sc_point, pla_point=pla_point)
+
+
+@dataclass
+class TeamOutcome:
+    """Handles from the Figs 3.10/3.11 cooperation storyline."""
+
+    members: dict[str, ActivityManager]
+    sds_name: str = "module-exchange"
+
+
+def team_modules(papyrus: Papyrus,
+                 modules: dict[str, str] | None = None) -> TeamOutcome:
+    """Several designers each synthesize a module and publish it to an SDS."""
+    modules = modules or {"arith": "adder", "shift": "shifter",
+                          "ctl": "decoder"}
+    members: dict[str, ActivityManager] = {}
+    for member, design in modules.items():
+        designer = papyrus.open_thread(member, owner=member)
+        designer.invoke("Create_Logic_Description", {"Spec": f"{design}.spec"},
+                        {"Outcell": f"{member}.logic"})
+        designer.invoke("Standard_Cell_PR", {"Incell": f"{member}.logic"},
+                        {"Outcell": f"{member}.layout"})
+        members[member] = designer
+    sds = papyrus.lwt.create_sds(
+        "module-exchange", [m.thread for m in members.values()])
+    for member in members:
+        sds.contribute(members[member].thread, f"{member}.layout")
+    return TeamOutcome(members=members)
+
+
+DAY = 24 * 3600.0
+
+
+@dataclass
+class LongProjectOutcome:
+    """Handles from the month-long reclamation storyline."""
+
+    designer: ActivityManager
+    iteration_points: list[int] = field(default_factory=list)
+    dead_branch_tip: int | None = None
+
+
+def month_of_work(papyrus: Papyrus,
+                  weeks: int = 4,
+                  thread_name: str = "project") -> LongProjectOutcome:
+    """Weekly synthesis work with one iterative-refinement burst (recent)
+    and one abandoned exploration branch (old) — §5.4's feedstock."""
+    designer = papyrus.open_thread(thread_name)
+    designer.invoke("Create_Logic_Description", {"Spec": "alu.spec"},
+                    {"Outcell": "w.logic"})
+    outcome = LongProjectOutcome(designer=designer)
+    for week in range(weeks):
+        designer.invoke("Standard_Cell_PR", {"Incell": "w.logic"},
+                        {"Outcell": f"w.sc{week}"})
+        if week == weeks - 2 and weeks >= 2:
+            anchor = designer.thread.current_cursor
+            designer.invoke("PLA_Generation", {"Incell": "w.logic"},
+                            {"Outcell": "w.dead.pla"})
+            outcome.dead_branch_tip = designer.thread.current_cursor
+            designer.move_cursor(anchor)
+        if week == weeks - 1:
+            for round_no in range(4):
+                outcome.iteration_points.append(designer.invoke(
+                    "Standard_Cell_PR", {"Incell": "w.logic"},
+                    {"Outcell": f"w.iter{round_no}"}))
+            designer.invoke("Padp", {"Incell": "w.iter3"},
+                            {"Outcell": "w.iter.final"})
+        papyrus.clock.advance(7 * DAY)
+    return outcome

@@ -1,0 +1,176 @@
+"""TDL task templates.
+
+These are the thesis's worked examples (§4.2.3, Figs 3.4/3.7/4.2/4.3)
+adapted to the synthetic tool suite — same structure, same control flow, same
+abort annotations.
+"""
+
+from __future__ import annotations
+
+from repro.tdl.template import TemplateLibrary
+
+PADP = """
+task Padp {Incell} {Outcell}
+step Pads_Placement {Incell} {Outcell} {padplace -c -o Outcell Incell}
+"""
+
+#: Fig 4.2 — the generic structure-to-layout synthesis pipeline, including a
+#: subtask, a control dependency, and post-layout statistics.
+STRUCTURE_SYNTHESIS = """
+task Structure_Synthesis {Incell Musa_Command} {Outcell Cell_Statistics}
+# translate a high-level description to a multi-level logic network
+step NetlistCompile {Incell} {cell.blif} {bdsyn -o cell.blif Incell}
+# optimize a multi-level logic network
+step Logic_Synthesis {cell.blif} {cell.logic} {misII -f script.msu -T oct -o cell.logic cell.blif}
+# place pads
+subtask Padp {cell.logic} {cell.padp}
+# place and route to obtain a physical layout
+step {1 Place_and_Route} {cell.padp} {Outcell} {wolfe -f -r 2 -o Outcell cell.padp}
+# perform a multi-level simulation (no simulation on unverified layouts)
+step Simulate {cell.logic Musa_Command} {} {musa -i Musa_Command cell.logic} {ControlDependency 1}
+# collect performance statistics
+step Chip_Statistics_Collection {Outcell} {Cell_Statistics} {chipstats Outcell > Cell_Statistics}
+"""
+
+#: Fig 4.3 — the macro-cell Mosaico pipeline with the $status conditional and
+#: the programmable-abort annotation on Vertical_Compaction.
+MOSAICO = """
+task Mosaico {Incell} {Outcell Cell_Statistics}
+# define the channel areas
+step Channel_Definition {Incell} {cdOutput} {atlas -i -z -o cdOutput Incell}
+# perform a global routing
+step Global_Routing {cdOutput} {grOutput} {mosaicoGR cdOutput -r -ov grOutput}
+# calculate the power and ground currents
+step {1 Power_Ground_Current_Calculation} {grOutput} {pgOutput} {PGcurrent grOutput > pgOutput}
+# perform a channel routing
+step Channel_Routing {grOutput} {crOutput} {mosaicoDR -d -o crOutput -r YACR grOutput}
+# format transformation
+step Oct_Symbolic_Flattening_1 {crOutput} {flOutput1} {octflatten -r grOutput -o flOutput1 crOutput}
+# minimizing the via areas
+step Via_Minimization {flOutput1} {vmOutput} {mizer -o vmOutput flOutput1} {ControlDependency 1}
+# another format transformation
+step Oct_Symbolic_Flattening_2 {Incell vmOutput} {flOutput2} {octflatten -r Incell -o flOutput2 vmOutput}
+# place pads
+step Place_Pads {flOutput2} {ppOutput} {padplace -f -S -o ppOutput flOutput2}
+# compact the layout starting with the horizontal direction
+step Horizontal_Compaction {ppOutput} {Outcell1} {sparcs -t -w NWEL -w PWEL -w PLACE -o Outcell1 ppOutput}
+# if not successful, compact starting with the vertical direction
+if {$status} {step Vertical_Compaction {ppOutput} {Outcell1} {sparcs -v -t -w NWEL -w PWEL -w PLACE -o Outcell1 ppOutput} {ResumedStep 1}}
+# create a protection frame as a high-level abstraction
+step Create_Abstraction_View {Outcell1} {Outcell} {vulcan Outcell1 -o Outcell}
+# check for routing completeness
+step Routing_Checks {Outcell Incell} {} {mosaicoRC -m 20 -c Incell Outcell}
+# collect performance statistics
+step Statistics_Calculation {Outcell1} {Cell_Statistics} {chipstats Outcell1 |& tee Cell_Statistics}
+"""
+
+#: Fig 3.4 — the four-step macro place & route task whose detailed-routing
+#: step resumes from the post-placement state on failure.
+MACRO_PLACE_ROUTE = """
+task Macro_Place_Route {Incell} {Outcell}
+step {1 Floor_Planning} {Incell} {fpOutput} {floorplan Incell -o fpOutput}
+step {2 Placement} {fpOutput} {plOutput} {place -r 4 -o plOutput fpOutput}
+step {3 Global_Routing} {plOutput} {grOutput} {mosaicoGR plOutput -o grOutput}
+step {4 Detailed_Routing} {grOutput} {Outcell} {mosaicoDR -t 2 -o Outcell grOutput} {ResumedStep 2}
+"""
+
+#: Fig 3.7's tasks — the shifter-synthesis exploration scenario.
+CREATE_LOGIC_DESCRIPTION = """
+task Create_Logic_Description {Spec} {Outcell}
+step Enter_Logic {Spec} {cell.beh} {edit -o cell.beh Spec} {NonMigrate}
+step Format_Transformation {cell.beh} {Outcell} {bdsyn -o Outcell cell.beh}
+"""
+
+LOGIC_SIMULATOR = """
+task Logic_Simulator {Incell Command} {Report}
+step Simulate {Incell Command} {Report} {musa -i Command Incell > Report}
+"""
+
+STANDARD_CELL_PR = """
+task Standard_Cell_PR {Incell} {Outcell}
+step Place_and_Route {Incell} {Outcell} {wolfe -f -r 2 -o Outcell Incell}
+"""
+
+#: Espresso -> Pleasure -> Panda, with Fig 3.7's dotted abort arrow: a panda
+#: area failure resumes from the state after espresso (Pleasure re-executed).
+PLA_GENERATION = """
+task PLA_Generation {Incell} {Outcell}
+step {1 Two_Level_Minimization} {Incell} {cell.esp} {espresso -o pleasure Incell}
+step {2 PLA_Folding} {cell.esp} {cell.fold} {pleasure cell.esp -o cell.fold}
+step {3 Array_Layout} {cell.fold} {Outcell} {panda cell.fold -o Outcell} {ResumedStep 1}
+"""
+
+#: Fig 3.3's template shape — step0, then two parallel two-step pipelines,
+#: then a barrier step.  Used by the trace-legality benchmark.
+FIG33_FORK_JOIN = """
+task Fig33 {Incell} {Outcell}
+step Step0 {Incell} {o0} {bdsyn -o o0 Incell}
+step Step1 {o0} {o1} {misII -o o1 o0}
+step Step2 {o1} {o2} {wolfe -o o2 o1}
+step Step3 {o0} {o3} {espresso -o pleasure o3 o0}
+step Step4 {o3} {o4} {pleasure o3 -o o4}
+step Step5 {o2 o4} {Outcell} {chipstats o2 > Outcell}
+"""
+
+#: A wide fan-out task for the parallelism benchmarks: one compile feeds
+#: several independent analysis pipelines.
+PARALLEL_ANALYSIS = """
+task Parallel_Analysis {Incell} {Stats Power Sim}
+step Compile {Incell} {net} {bdsyn -o net Incell}
+step Optimize {net} {opt} {misII -o opt net}
+step PR {opt} {lay} {wolfe -r 2 -o lay opt}
+step Stats {lay} {Stats} {chipstats lay > Stats}
+step Power {lay} {Power} {PGcurrent lay > Power}
+step Sim {net} {Sim} {musa net > Sim}
+"""
+
+#: An iterative-refinement task (for the Fig 5.9 garbage-collection story):
+#: repeatedly re-optimize until the literal count stops improving.
+ITERATIVE_REFINEMENT = """
+task Iterative_Refinement {Incell} {Outcell}
+step Seed {Incell} {cur} {bdsyn -o cur Incell}
+set best [attribute cur literals]
+set round 0
+set improved 1
+while {$improved && $round < 4} {
+    incr round
+    step Refine {cur} {cur} {misII -o cur cur}
+    set now [attribute cur literals]
+    if {$now < $best} {set best $now} else {set improved 0}
+}
+step Final {cur} {Outcell} {misII -o Outcell cur}
+"""
+
+#: A synthesis flow that formally verifies the optimized logic against the
+#: original spec with octverify before committing to layout — octverify's
+#: non-zero exit on a mismatch aborts the task.
+VERIFIED_SYNTHESIS = """
+task Verified_Synthesis {Incell} {Outcell Equivalence}
+step Compile {Incell} {net} {bdsyn -o net Incell}
+step {1 Optimize} {net} {opt} {misII -o opt net}
+step Check {Incell opt} {Equivalence} {octverify Incell opt > Equivalence}
+step Layout {opt} {Outcell} {wolfe -r 2 -o Outcell opt} {ControlDependency 1}
+"""
+
+ALL_SOURCES = {
+    "Padp": PADP,
+    "Structure_Synthesis": STRUCTURE_SYNTHESIS,
+    "Mosaico": MOSAICO,
+    "Macro_Place_Route": MACRO_PLACE_ROUTE,
+    "Create_Logic_Description": CREATE_LOGIC_DESCRIPTION,
+    "Logic_Simulator": LOGIC_SIMULATOR,
+    "Standard_Cell_PR": STANDARD_CELL_PR,
+    "PLA_Generation": PLA_GENERATION,
+    "Fig33": FIG33_FORK_JOIN,
+    "Parallel_Analysis": PARALLEL_ANALYSIS,
+    "Iterative_Refinement": ITERATIVE_REFINEMENT,
+    "Verified_Synthesis": VERIFIED_SYNTHESIS,
+}
+
+
+def standard_library() -> TemplateLibrary:
+    """The template library used by examples, tests and benchmarks."""
+    library = TemplateLibrary()
+    for source in ALL_SOURCES.values():
+        library.add_source(source)
+    return library

@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clock import VirtualClock
+from repro.octdb import DesignDatabase
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+@pytest.fixture
+def db(clock: VirtualClock) -> DesignDatabase:
+    return DesignDatabase(clock=clock)

@@ -1,0 +1,104 @@
+"""Tests for the attribute index and the synthetic project generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Papyrus
+from repro.errors import MetadataError
+from repro.metadata.attrindex import AttributeIndex
+from repro.workloads.generator import _Rand, generate_project
+
+
+class TestAttributeIndex:
+    def _populated(self):
+        index = AttributeIndex()
+        for i, area in enumerate([500, 100, 900, 300, 700]):
+            index.add("layout", "area", f"l{i}@1", float(area))
+        return index
+
+    def test_range_query(self):
+        index = self._populated()
+        assert index.in_range("layout", "area", 200, 800) == \
+            ["l3@1", "l0@1", "l4@1"]
+        assert index.in_range("layout", "area", high=100) == ["l1@1"]
+        assert index.in_range("layout", "area") == \
+            ["l1@1", "l3@1", "l0@1", "l4@1", "l2@1"]
+
+    def test_topk(self):
+        index = self._populated()
+        assert index.smallest("layout", "area", 2) == ["l1@1", "l3@1"]
+        assert index.largest("layout", "area", 2) == ["l2@1", "l4@1"]
+
+    def test_duplicate_add_ignored(self):
+        index = self._populated()
+        index.add("layout", "area", "l0@1", 123.0)
+        assert index.count("layout", "area") == 5
+
+    def test_discard(self):
+        index = self._populated()
+        index.discard("l2@1")
+        assert index.count("layout", "area") == 4
+        assert "l2@1" not in index.in_range("layout", "area")
+        # re-adding after discard works
+        index.add("layout", "area", "l2@1", 900.0)
+        assert index.count("layout", "area") == 5
+
+    def test_missing_index(self):
+        index = AttributeIndex()
+        with pytest.raises(MetadataError):
+            index.in_range("layout", "smell")
+
+    def test_ingest_from_engine(self):
+        papyrus = Papyrus.standard(hosts=2)
+        designer = papyrus.open_thread("t")
+        for i, design in enumerate(("adder", "parity")):
+            designer.invoke("Standard_Cell_PR",
+                            {"Incell": f"{design}.net"},
+                            {"Outcell": f"ix{i}.lay"})
+        papyrus.observe_history(designer)
+        index = AttributeIndex()
+        added = index.ingest(papyrus.inference)
+        assert added > 0
+        layouts = index.in_range("layout", "area")
+        assert set(layouts) >= {"ix0.lay@1", "ix1.lay@1"}
+        # values agree with the engine
+        for name in layouts:
+            assert papyrus.inference.attributes.has(name, "area")
+        # idempotent
+        assert index.ingest(papyrus.inference) == 0
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_project(20, seed=5)
+        b = generate_project(20, seed=5)
+        assert [r.task for r in a.designer.thread.stream.records()] == \
+            [r.task for r in b.designer.thread.stream.records()]
+        assert a.papyrus.clock.now == b.papyrus.clock.now
+
+    def test_seed_changes_shape(self):
+        a = generate_project(20, seed=5)
+        b = generate_project(20, seed=6)
+        assert [r.task for r in a.designer.thread.stream.records()] != \
+            [r.task for r in b.designer.thread.stream.records()]
+
+    def test_requested_size(self):
+        project = generate_project(30, seed=2)
+        assert project.commits == 30
+        assert len(project.designer.thread.stream) == 30
+        assert project.reworks >= 1
+
+    def test_history_is_consistent(self):
+        project = generate_project(25, seed=9)
+        thread = project.designer.thread
+        # every frontier state resolvable against the database
+        for point in thread.stream.frontier():
+            for name in thread.scope.thread_state(point):
+                assert project.papyrus.db.exists(name)
+
+    def test_rand_is_stable(self):
+        rand = _Rand(42)
+        first = [rand.below(10) for _ in range(5)]
+        rand2 = _Rand(42)
+        assert first == [rand2.below(10) for _ in range(5)]

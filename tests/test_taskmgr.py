@@ -1,0 +1,434 @@
+"""Tests for the task manager: parallelism extraction, naming, programmable
+abort, history recording, attribute management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cad import default_registry
+from repro.clock import VirtualClock
+from repro.errors import TaskAborted, TemplateError
+from repro.octdb import DesignDatabase
+from repro.sprite import Cluster
+from repro.taskmgr import TaskManager
+from repro.taskmgr.attrdb import AttributeDatabase, standard_computers
+from repro.workloads import seed_designs, standard_library
+from repro.workloads.designs import congested_layout, sparse_layout
+
+
+@pytest.fixture
+def env():
+    clk = VirtualClock()
+    db = DesignDatabase(clock=clk)
+    seed = seed_designs(db)
+    cluster = Cluster.homogeneous(4, clock=clk)
+    tm = TaskManager(
+        db, default_registry(), standard_library(), cluster=cluster,
+        attrdb=standard_computers(AttributeDatabase(db)), clock=clk,
+    )
+    return tm, db, seed, clk
+
+
+class TestBasicExecution:
+    def test_single_step_task(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Padp", inputs={"Incell": seed["shifter.net"]},
+                          outputs={"Outcell": "shifter.padded"})
+        assert rec.task == "Padp"
+        assert rec.outputs == ("shifter.padded@1",)
+        assert db.get("shifter.padded").payload is not None
+
+    def test_missing_input_rejected(self, env):
+        tm, _, _, _ = env
+        with pytest.raises(TemplateError):
+            tm.run_task("Padp", inputs={})
+
+    def test_unversioned_input_resolved(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Padp", inputs={"Incell": "shifter.net"},
+                          outputs={"Outcell": "x"})
+        assert rec.inputs == ("shifter.net@1",)
+
+    def test_full_pipeline_with_subtask(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task(
+            "Structure_Synthesis",
+            inputs={"Incell": seed["adder.spec"],
+                    "Musa_Command": seed["musa.cmd"]},
+            outputs={"Outcell": "adder.layout",
+                     "Cell_Statistics": "adder.stats"},
+        )
+        names = [s.name for s in rec.steps]
+        # the Padp subtask expanded in-line
+        assert "Pads_Placement" in names
+        assert len(rec.steps) == 6
+        stats = db.get("adder.stats").payload
+        assert stats.value("area") > 0
+
+    def test_history_ordered_by_completion(self, env):
+        tm, _, seed, _ = env
+        rec = tm.run_task(
+            "Structure_Synthesis",
+            inputs={"Incell": seed["adder.spec"],
+                    "Musa_Command": seed["musa.cmd"]},
+            outputs={"Outcell": "o", "Cell_Statistics": "s"},
+        )
+        times = [s.completed_at for s in rec.steps]
+        assert times == sorted(times)
+
+    def test_intermediates_removed_outputs_pinned(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Structure_Synthesis",
+                          inputs={"Incell": seed["adder.spec"],
+                                  "Musa_Command": seed["musa.cmd"]},
+                          outputs={"Outcell": "o", "Cell_Statistics": "s"})
+        for name in rec.intermediates():
+            assert db.is_deleted(name)
+        for name in rec.outputs:
+            assert not db.is_deleted(name)
+            # pinned: the reclaimer must not take task outputs
+        db.delete("o@1")
+        reclaimed = {str(n) for n in db.reclaim()}
+        assert "o@1" not in reclaimed          # pinned outputs survive
+        assert reclaimed >= set(rec.intermediates())
+
+    def test_keep_intermediates_option(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Structure_Synthesis",
+                          inputs={"Incell": seed["adder.spec"],
+                                  "Musa_Command": seed["musa.cmd"]},
+                          outputs={"Outcell": "o2", "Cell_Statistics": "s2"},
+                          keep_intermediates=True)
+        assert rec.intermediates()
+        for name in rec.intermediates():
+            assert not db.is_deleted(name)
+
+    def test_unique_intermediate_names_across_instances(self, env):
+        tm, db, seed, _ = env
+        rec1 = tm.run_task("Structure_Synthesis",
+                           inputs={"Incell": seed["adder.spec"],
+                                   "Musa_Command": seed["musa.cmd"]},
+                           outputs={"Outcell": "a1", "Cell_Statistics": "s1"},
+                           keep_intermediates=True)
+        rec2 = tm.run_task("Structure_Synthesis",
+                           inputs={"Incell": seed["alu.spec"],
+                                   "Musa_Command": seed["musa.cmd"]},
+                           outputs={"Outcell": "a2", "Cell_Statistics": "s2"},
+                           keep_intermediates=True)
+        assert not set(rec1.intermediates()) & set(rec2.intermediates())
+
+
+class TestParallelism:
+    def test_control_dependency_honored(self, env):
+        tm, _, seed, _ = env
+        rec = tm.run_task("Structure_Synthesis",
+                          inputs={"Incell": seed["adder.spec"],
+                                  "Musa_Command": seed["musa.cmd"]},
+                          outputs={"Outcell": "o", "Cell_Statistics": "s"})
+        by_name = {s.name: s for s in rec.steps}
+        # Simulate is control-dependent on Place_and_Route (declared id 1)
+        assert (by_name["Simulate"].started_at
+                >= by_name["Place_and_Route"].completed_at)
+
+    def test_independent_steps_overlap(self, env):
+        tm, _, seed, _ = env
+        rec = tm.run_task("Parallel_Analysis",
+                          inputs={"Incell": seed["alu.spec"]},
+                          outputs={"Stats": "st", "Power": "pw", "Sim": "sm"})
+        by_name = {s.name: s for s in rec.steps}
+        stats, power = by_name["Stats"], by_name["Power"]
+        # both depend only on the layout; they run concurrently
+        overlap = (min(stats.completed_at, power.completed_at)
+                   - max(stats.started_at, power.started_at))
+        assert overlap > 0
+
+    def test_completion_order_is_linear_extension(self, env):
+        """Every trace must respect the template's data+control order."""
+        tm, _, seed, _ = env
+        rec = tm.run_task("Fig33", inputs={"Incell": seed["decoder.spec"]},
+                          outputs={"Outcell": "fig33.out"})
+        pos = {s.name: i for i, s in enumerate(rec.steps)}
+        assert pos["Step0"] < pos["Step1"] < pos["Step2"]
+        assert pos["Step0"] < pos["Step3"] < pos["Step4"]
+        assert pos["Step2"] < pos["Step5"] and pos["Step4"] < pos["Step5"]
+
+    def test_speedup_with_more_hosts(self):
+        def makespan(hosts: int) -> float:
+            clk = VirtualClock()
+            db = DesignDatabase(clock=clk)
+            seed = seed_designs(db)
+            tm = TaskManager(db, default_registry(), standard_library(),
+                             cluster=Cluster.homogeneous(hosts, clock=clk),
+                             clock=clk)
+            tm.run_task("Parallel_Analysis",
+                        inputs={"Incell": seed["alu.spec"]},
+                        outputs={"Stats": "st", "Power": "pw", "Sim": "sm"})
+            return clk.now
+
+        assert makespan(4) < makespan(1)
+
+    def test_non_migratable_step_stays_home(self, env):
+        tm, _, seed, _ = env
+        rec = tm.run_task("Create_Logic_Description",
+                          inputs={"Spec": seed["shifter.spec"]},
+                          outputs={"Outcell": "sh.net"})
+        by_name = {s.name: s for s in rec.steps}
+        assert by_name["Enter_Logic"].host == "home"   # NonMigrate
+
+
+class TestStatusConditional:
+    def test_mosaico_skips_vertical_when_horizontal_ok(self, env):
+        tm, db, _, _ = env
+        sp = sparse_layout(db)
+        rec = tm.run_task("Mosaico", inputs={"Incell": str(sp.name)},
+                          outputs={"Outcell": "f", "Cell_Statistics": "cs"})
+        names = [s.name for s in rec.steps]
+        assert "Vertical_Compaction" not in names
+
+    def test_mosaico_takes_vertical_on_failure(self, env):
+        tm, db, _, _ = env
+        cong = congested_layout(db)
+        rec = tm.run_task("Mosaico", inputs={"Incell": str(cong.name)},
+                          outputs={"Outcell": "f2", "Cell_Statistics": "cs2"})
+        results = {s.name: s.status for s in rec.steps}
+        assert results["Horizontal_Compaction"] == 1
+        assert results["Vertical_Compaction"] == 0
+        assert results["Create_Abstraction_View"] == 0
+
+
+class TestProgrammableAbort:
+    def test_resume_preserves_early_steps(self, env):
+        tm, db, seed, _ = env
+        tm.on_restart = lambda ex, spec: ex.option_overrides.setdefault(
+            "Detailed_Routing", []).extend(["-t", "64"])
+        rec = tm.run_task("Macro_Place_Route",
+                          inputs={"Incell": seed["alu.net"]},
+                          outputs={"Outcell": "alu.routed"})
+        names = [s.name for s in rec.steps]
+        # floorplanning/placement ran once; history holds the final trace
+        assert names.count("Floor_Planning") == 1
+        assert names.count("Placement") == 1
+        execution = tm.executions[-1]
+        assert execution.restarts == 1
+
+    def test_gives_up_after_max_restarts(self, env):
+        tm, db, seed, _ = env
+        tm.max_restarts = 2
+        with pytest.raises(TaskAborted):
+            tm.run_task("Macro_Place_Route",
+                        inputs={"Incell": seed["alu.net"]},
+                        outputs={"Outcell": "nope"})
+        # abort removes every side effect
+        assert not db.exists("nope")
+
+    def test_abort_leaves_no_history_or_objects(self, env):
+        tm, db, seed, _ = env
+        tm.max_restarts = 0
+        created_before = len(db)
+        with pytest.raises(TaskAborted):
+            tm.run_task("Macro_Place_Route",
+                        inputs={"Incell": seed["alu.net"]},
+                        outputs={"Outcell": "gone"})
+        live_after = [o for o in db if not db.is_deleted(o.name)]
+        assert len(live_after) == created_before
+
+    def test_unhandled_failure_restarts_from_scratch(self, env):
+        tm, db, seed, _ = env
+        fixed: list = []
+
+        def on_restart(ex, spec):
+            # first restart: raise the routing capacity
+            ex.option_overrides.setdefault("Route", []).extend(["-t", "99"])
+            fixed.append(spec.name)
+
+        tm.on_restart = on_restart
+        tm.library.add_source("""
+task Fragile {Incell} {Outcell}
+step Plan {Incell} {pl} {floorplan Incell -o pl}
+step Route {pl} {Outcell} {mosaicoDR -t 1 -o Outcell pl}
+""")
+        rec = tm.run_task("Fragile", inputs={"Incell": seed["alu.net"]},
+                          outputs={"Outcell": "frag.out"})
+        assert fixed == ["Route"]
+        assert [s.status for s in rec.steps] == [0, 0]
+
+    def test_explicit_abort_command(self, env):
+        tm, _, seed, _ = env
+        tm.library.add_source("""
+task Doomed {Incell} {Outcell}
+step Work {Incell} {Outcell} {floorplan Incell -o Outcell}
+abort
+""")
+        with pytest.raises(TaskAborted):
+            tm.run_task("Doomed", inputs={"Incell": seed["alu.net"]},
+                        outputs={"Outcell": "d"})
+
+    def test_pla_generation_area_retry(self, env):
+        tm, db, seed, _ = env
+
+        def on_restart(ex, spec):
+            # the user relaxes panda's area constraint on retry
+            ex.option_overrides.setdefault("Array_Layout", []).extend(
+                ["-a", "100000"])
+
+        tm.on_restart = on_restart
+        tm.navigator = lambda spec, options: (
+            options + ["-a", "1"] if spec.name == "Array_Layout"
+            and "-a" not in options else None
+        )
+        rec = tm.run_task("PLA_Generation",
+                          inputs={"Incell": seed["decoder.net"]},
+                          outputs={"Outcell": "dec.pla"})
+        ex = tm.executions[-1]
+        assert ex.restarts == 1
+        # Two_Level_Minimization ran once (preserved); folding re-ran
+        assert [s.name for s in rec.steps].count("Two_Level_Minimization") == 1
+
+
+class TestAttributes:
+    def test_attribute_command_in_loop(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Iterative_Refinement",
+                          inputs={"Incell": seed["parity.spec"]},
+                          outputs={"Outcell": "par.opt"})
+        names = [s.name for s in rec.steps]
+        assert names[0] == "Seed" and names[-1] == "Final"
+        assert names.count("Refine") >= 1
+
+    def test_attrdb_caches(self, env):
+        tm, db, seed, _ = env
+        attrdb = tm.attrdb
+        before = attrdb.computations
+        v1 = attrdb.get(seed["alu.net"], "literals")
+        v2 = attrdb.get(seed["alu.net"], "literals")
+        assert v1 == v2
+        assert attrdb.computations == before + 1
+
+    def test_attrdb_unknown_attribute(self, env):
+        from repro.errors import MetadataError
+
+        tm, _, seed, _ = env
+        with pytest.raises(MetadataError):
+            tm.attrdb.get(seed["alu.net"], "smell")
+
+    def test_attrdb_set_overrides(self, env):
+        tm, _, seed, _ = env
+        tm.attrdb.set(seed["alu.net"], "literals", 42.0)
+        assert tm.attrdb.get(seed["alu.net"], "literals") == 42.0
+
+
+class TestNavigator:
+    def test_navigator_overrides_options(self, env):
+        tm, db, seed, _ = env
+        seen = []
+
+        def navigator(spec, options):
+            seen.append(spec.name)
+            if spec.name == "Place_and_Route":
+                return [opt if opt != "2" else "4" for opt in options]
+            return None
+
+        tm.navigator = navigator
+        rec = tm.run_task("Standard_Cell_PR",
+                          inputs={"Incell": seed["adder.net"]},
+                          outputs={"Outcell": "nav.out"})
+        assert "Place_and_Route" in seen
+        step = rec.steps[0]
+        assert "4" in step.options
+
+    def test_option_overrides_win_last(self, env):
+        # option_value is last-wins so appended overrides beat defaults
+        from repro.cad.registry import ToolCall
+
+        call = ToolCall("x", options=("-t", "2", "-t", "64"))
+        assert call.option_value("-t") == "64"
+
+
+class TestConcurrentExecution:
+    def test_concurrent_tasks_interleave(self, env):
+        tm, db, seed, clk = env
+        requests = [
+            ("Parallel_Analysis", {"Incell": seed["alu.spec"]},
+             {"Stats": f"c{i}.s", "Power": f"c{i}.p", "Sim": f"c{i}.m"})
+            for i in range(3)
+        ]
+        records = tm.run_concurrent(requests)
+        assert len(records) == 3
+        for i, record in enumerate(records):
+            assert len(record.steps) == 6
+            assert db.get(f"c{i}.s").payload.value("area") > 0
+        # steps of different instantiations overlapped in simulated time
+        spans = [
+            (min(s.started_at for s in r.steps),
+             max(s.completed_at for s in r.steps))
+            for r in records
+        ]
+        overlap = min(e for _, e in spans) - max(s for s, _ in spans)
+        assert overlap > 0
+
+    def test_concurrent_faster_than_serial(self):
+        def span(concurrent: bool) -> float:
+            clk = VirtualClock()
+            db = DesignDatabase(clock=clk)
+            seed = seed_designs(db)
+            tm = TaskManager(db, default_registry(), standard_library(),
+                             cluster=Cluster.homogeneous(6, clock=clk),
+                             clock=clk)
+            requests = [
+                ("Parallel_Analysis", {"Incell": seed["alu.spec"]},
+                 {"Stats": f"c{i}.s", "Power": f"c{i}.p", "Sim": f"c{i}.m"})
+                for i in range(3)
+            ]
+            if concurrent:
+                tm.run_concurrent(requests)
+            else:
+                for n, i, o in requests:
+                    tm.run_task(n, inputs=i, outputs=o)
+            return clk.now
+
+        assert span(True) < span(False)
+
+    def test_concurrent_intermediates_unique_and_cleaned(self, env):
+        tm, db, seed, _ = env
+        records = tm.run_concurrent([
+            ("Structure_Synthesis",
+             {"Incell": seed["adder.spec"], "Musa_Command": seed["musa.cmd"]},
+             {"Outcell": f"cc{i}.lay", "Cell_Statistics": f"cc{i}.st"})
+            for i in range(2)
+        ])
+        inter0 = set(records[0].intermediates())
+        inter1 = set(records[1].intermediates())
+        assert not inter0 & inter1
+        for name in inter0 | inter1:
+            assert db.is_deleted(name)
+
+    def test_concurrent_with_programmable_abort(self, env):
+        tm, db, seed, _ = env
+        tm.on_restart = lambda ex, spec: ex.option_overrides.setdefault(
+            "Detailed_Routing", []).extend(["-t", "64"])
+        records = tm.run_concurrent([
+            ("Macro_Place_Route", {"Incell": seed["alu.net"]},
+             {"Outcell": "ca.routed"}),
+            ("Padp", {"Incell": seed["adder.net"]}, {"Outcell": "cb.pad"}),
+        ])
+        assert [s.status for s in records[0].steps] == [0, 0, 0, 0]
+        assert records[1].outputs == ("cb.pad@1",)
+
+
+class TestVerifiedSynthesis:
+    def test_equivalence_gate_passes(self, env):
+        tm, db, seed, _ = env
+        rec = tm.run_task("Verified_Synthesis",
+                          inputs={"Incell": seed["parity.spec"]},
+                          outputs={"Outcell": "vs.lay",
+                                   "Equivalence": "vs.eq"})
+        report = db.get("vs.eq").payload
+        assert report.value("equal") == 1.0
+        assert db.get("vs.lay").payload.area > 0
+
+    def test_probe_matrix_includes_ulysses(self):
+        from repro.baselines.feature_matrix import probe_ulysses
+
+        row = probe_ulysses()
+        assert row["tool_encapsulation"] and row["tool_navigation"]
+        assert not row["data_evolution"]
