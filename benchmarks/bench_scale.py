@@ -13,13 +13,20 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.common import banner, table
+from benchmarks.common import banner, export_observability, table, trace_out
+from repro import obs
 from repro.metadata.attrindex import AttributeIndex
 from repro.workloads.generator import generate_project
 
 
 def measure(commits: int) -> dict:
+    if trace_out():
+        obs.enable_tracing()
     project = generate_project(commits, seed=11)
+    if obs.TRACER.enabled:
+        # Re-point the tracer at this project's virtual clock so later
+        # events (cursor moves below) carry its timestamps.
+        obs.TRACER.enable(clock=project.papyrus.clock)
     thread = project.designer.thread
 
     def timed(fn, repeat: int = 20) -> float:
@@ -81,3 +88,5 @@ def test_bookkeeping_scales(benchmark):
     assert large["switch_us"] < small["switch_us"] * 8
     # the attribute index answers range queries in microseconds regardless
     assert large["index_query_us"] < 1000
+
+    export_observability("scale", {"rows": results})

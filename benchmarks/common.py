@@ -9,11 +9,59 @@ virtual clock, so they are deterministic and machine-independent.
 
 from __future__ import annotations
 
-from repro import Papyrus
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro import Papyrus, obs
+
+
+def trace_out() -> str | None:
+    """The ``--trace-out PATH`` option (or ``PAPYRUS_TRACE_OUT`` env var).
+
+    When set, benchmarks run with tracing enabled, the JSONL trace is
+    written to PATH and each benchmark's ``BENCH_<name>.json`` carries a
+    metrics snapshot alongside its timing rows (see
+    :func:`export_observability`).
+    """
+    argv = sys.argv
+    if "--trace-out" in argv:
+        index = argv.index("--trace-out")
+        if index + 1 < len(argv):
+            return argv[index + 1]
+    for arg in argv:
+        if arg.startswith("--trace-out="):
+            return arg.split("=", 1)[1]
+    return os.environ.get("PAPYRUS_TRACE_OUT")
 
 
 def fresh_papyrus(hosts: int = 4, **kwargs) -> Papyrus:
-    return Papyrus.standard(hosts=hosts, **kwargs)
+    papyrus = Papyrus.standard(hosts=hosts, **kwargs)
+    if trace_out():
+        obs.enable_tracing(papyrus.clock, observe_clock=True)
+    return papyrus
+
+
+def export_observability(bench_name: str, extra: dict | None = None) -> Path | None:
+    """Write the buffered trace to ``--trace-out`` and a ``BENCH_*.json``
+    metrics snapshot next to it.  A no-op when tracing is not requested."""
+    path = trace_out()
+    if not path:
+        return None
+    obs.TRACER.export_jsonl(path)
+    payload = {
+        "bench": bench_name,
+        "metrics": obs.metrics_snapshot(),
+        "trace": {"path": path, "events": len(obs.TRACER.events),
+                  "dropped": obs.TRACER.dropped},
+    }
+    if extra:
+        payload.update(extra)
+    out = Path(path).with_name(f"BENCH_{bench_name}.json")
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+    print(f"\n[obs] trace -> {path}  metrics -> {out}")
+    return out
 
 
 def banner(title: str) -> None:

@@ -1,0 +1,18 @@
+"""Benchmark-suite pytest hooks.
+
+Registers ``--trace-out PATH``: run any benchmark with tracing enabled and
+get a JSONL trace (openable in Perfetto after ``trace export ... chrome`` or
+via the schema validator) plus a ``BENCH_<name>.json`` metrics snapshot::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_scale.py \
+        --trace-out /tmp/scale.jsonl
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--trace-out", action="store", default=None,
+        help="enable repro.obs tracing and write the JSONL trace here",
+    )

@@ -7,14 +7,24 @@ behavioral spec -> logic network -> optimized network -> pads -> placed and
 routed layout, with a control-dependent simulation and a statistics report.
 
 Run:  python examples/quickstart.py
+
+Set ``PAPYRUS_TRACE_OUT=trace.jsonl`` to record a structured trace of the
+whole run (every dispatch, migration, version creation and clock advance) —
+validate it with ``python -m repro.obs.schema trace.jsonl`` or export a
+Chrome/Perfetto trace next to it (``PAPYRUS_TRACE_CHROME=trace.json``).
 """
 
-from repro import Papyrus
+import os
+
+from repro import Papyrus, obs
 from repro.activity.viewport import render_stream
 
 
 def main() -> None:
     papyrus = Papyrus.standard(hosts=4)
+    trace_path = os.environ.get("PAPYRUS_TRACE_OUT")
+    if trace_path:
+        obs.enable_tracing(papyrus.clock, observe_clock=True)
     designer = papyrus.open_thread("adder-work", owner="you")
 
     print("Available task templates:")
@@ -53,6 +63,22 @@ def main() -> None:
     print("Data scope at the cursor:")
     for name in designer.show_data_scope():
         print(f"  {name}")
+
+    if trace_path:
+        count = obs.TRACER.export_jsonl(trace_path)
+        print(f"\nWrote {count} trace events to {trace_path}")
+        chrome_path = os.environ.get("PAPYRUS_TRACE_CHROME")
+        if chrome_path:
+            obs.TRACER.export_chrome(chrome_path)
+            print(f"Wrote Chrome trace to {chrome_path} "
+                  "(open in Perfetto / chrome://tracing)")
+        snapshot = papyrus.taskmgr.cluster.stats.registry.snapshot()
+        snapshot.update(obs.metrics_snapshot())
+        print("Metrics snapshot:")
+        for key in ("cluster.submitted", "cluster.migrations",
+                    "engine.steps_issued", "engine.steps_completed",
+                    "db.versions_created"):
+            print(f"  {key:<28} {int(snapshot.get(key, 0))}")
 
 
 if __name__ == "__main__":

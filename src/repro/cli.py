@@ -21,7 +21,7 @@ from __future__ import annotations
 import shlex
 from typing import Callable
 
-from repro import Papyrus
+from repro import Papyrus, obs
 from repro.activity.persistence import load_system, save_system
 from repro.activity.reclamation import Reclaimer
 from repro.activity.viewport import render_stream
@@ -75,6 +75,9 @@ class Shell:
             "objects": self._cmd_objects,
             "notebook": self._cmd_notebook,
             "reclaim": self._cmd_reclaim,
+            "trace": self._cmd_trace,
+            "stats": self._cmd_stats,
+            "spans": self._cmd_spans,
             "advance": self._cmd_advance,
             "save": self._cmd_save,
             "load": self._cmd_load,
@@ -137,6 +140,9 @@ class Shell:
             "objects [base]": "list database objects",
             "notebook": "generate the design notebook from the history",
             "reclaim [grace-seconds]": "run the storage reclaimer",
+            "trace on|off|status|export <path> [chrome]": "control tracing",
+            "stats": "print the metrics registry snapshot",
+            "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
             "save <dir> / load <dir>": "persist / restore everything",
             "quit": "leave the shell",
@@ -265,6 +271,72 @@ class Shell:
             f"abstracted {report.records_abstracted} records, pruned "
             f"{report.records_pruned}, reclaimed {len(reclaimed)} versions"
         )
+
+    def _cmd_trace(self, args: list[str]) -> None:
+        usage = "usage: trace on|off|status|clear | trace export <path> [chrome]"
+        if not args:
+            raise ShellError(usage)
+        action = args[0]
+        if action == "on":
+            obs.enable_tracing(self.papyrus.clock, observe_clock=True)
+            self._print("tracing enabled (virtual-clock timestamps)")
+        elif action == "off":
+            obs.disable_tracing()
+            self._print("tracing disabled")
+        elif action == "clear":
+            obs.TRACER.clear()
+            self._print("trace buffer cleared")
+        elif action == "status":
+            state = "on" if obs.TRACER.enabled else "off"
+            self._print(
+                f"tracing {state}: {len(obs.TRACER.events)} buffered events"
+                + (f", {obs.TRACER.dropped} dropped" if obs.TRACER.dropped
+                   else "")
+            )
+        elif action == "export":
+            if len(args) < 2:
+                raise ShellError(usage)
+            path = args[1]
+            chrome = len(args) > 2 and args[2] == "chrome"
+            if chrome:
+                count = obs.TRACER.export_chrome(path)
+                self._print(f"wrote {count} Chrome trace events to {path} "
+                            "(open in Perfetto / chrome://tracing)")
+            else:
+                count = obs.TRACER.export_jsonl(path)
+                self._print(f"wrote {count} JSONL events to {path}")
+        else:
+            raise ShellError(usage)
+
+    def _cmd_stats(self, args: list[str]) -> None:
+        cluster = self.papyrus.taskmgr.cluster
+        sections = [
+            ("cluster", cluster.stats.registry.snapshot()),
+            ("engine", obs.metrics_snapshot()),
+        ]
+        for title, snapshot in sections:
+            if not snapshot:
+                continue
+            self._print(f"{title}:")
+            for name, value in snapshot.items():
+                if isinstance(value, dict):     # histogram
+                    self._print(
+                        f"  {name:<40} count={value['count']} "
+                        f"mean={value['mean']:.2f} max={value['max']}"
+                    )
+                elif isinstance(value, float) and value != int(value):
+                    self._print(f"  {name:<40} {value:.2f}")
+                else:
+                    self._print(f"  {name:<40} {int(value)}")
+
+    def _cmd_spans(self, args: list[str]) -> None:
+        limit = int(args[0]) if args else 50
+        lines = obs.TRACER.render_tree(limit=limit)
+        if not lines:
+            self._print("no trace events buffered (is tracing on?)")
+            return
+        for line in lines:
+            self._print(line)
 
     def _cmd_advance(self, args: list[str]) -> None:
         if len(args) != 1:

@@ -10,6 +10,12 @@ explicitly (e.g. "two days pass" before aging kicks in).
 
 from __future__ import annotations
 
+from typing import Callable
+
+#: An advance observer: called as ``callback(old_time, new_time)`` after the
+#: clock has moved (only when it actually moved forward).
+AdvanceCallback = Callable[[float, float], None]
+
 
 class VirtualClock:
     """A monotonically non-decreasing simulated clock.
@@ -19,23 +25,39 @@ class VirtualClock:
 
     def __init__(self, start: float = 0.0):
         self._now = float(start)
+        #: Observability hooks fired after every effective advance.  The
+        #: tracer subscribes here (``Tracer.observe_clock``); tests use it to
+        #: check that clock motion interleaves correctly with span
+        #: timestamps.  Kept a plain list so the no-observer case costs one
+        #: truthiness check.
+        self.on_advance: list[AdvanceCallback] = []
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
 
+    def _notify_advance(self, old: float) -> None:
+        for callback in self.on_advance:
+            callback(old, self._now)
+
     def advance(self, seconds: float) -> float:
         """Move the clock forward by ``seconds`` (must be >= 0)."""
         if seconds < 0:
             raise ValueError(f"cannot move time backwards ({seconds})")
+        old = self._now
         self._now += seconds
+        if self.on_advance and self._now > old:
+            self._notify_advance(old)
         return self._now
 
     def advance_to(self, when: float) -> float:
         """Move the clock forward to absolute time ``when`` (no-op if past)."""
         if when > self._now:
+            old = self._now
             self._now = when
+            if self.on_advance:
+                self._notify_advance(old)
         return self._now
 
     def hour(self) -> int:

@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.errors import SdsError
+from repro.obs import METRICS, TRACER
 from repro.octdb.database import DesignDatabase, VersionedObject
 from repro.octdb.naming import ObjectName, parse_name
 
@@ -112,6 +113,11 @@ class SynchronizationDataSpace:
         resolved = thread.resolve(name)
         previous = self.versions_of(resolved.base)
         self._objects.add(str(resolved))
+        METRICS.counter("sds.moves", direction="contribute").inc()
+        if TRACER.enabled:
+            TRACER.event("sds.move", cat="sds", direction="contribute",
+                         sds=self.name, thread=thread.name,
+                         object=str(resolved))
         self._notify(resolved, previous[-1] if previous else None)
         return resolved
 
@@ -146,6 +152,11 @@ class SynchronizationDataSpace:
                 _Flag(thread=thread, predicates=tuple(predicates),
                       propagate=propagate)
             )
+        METRICS.counter("sds.moves", direction="retrieve").inc()
+        if TRACER.enabled:
+            TRACER.event("sds.move", cat="sds", direction="retrieve",
+                         sds=self.name, thread=thread.name,
+                         object=str(oname), propagate=propagate)
         return oname
 
     # ----------------------------------------------------------- notification
@@ -162,6 +173,7 @@ class SynchronizationDataSpace:
                 continue
             if not all(pred(new_obj, prev_obj) for pred in flag.predicates):
                 self.notifications_suppressed += 1
+                METRICS.counter("sds.notifications_suppressed").inc()
                 continue
             if flag.propagate:
                 flag.thread.extra_objects.add(str(new_name))
@@ -176,6 +188,12 @@ class SynchronizationDataSpace:
             ))
             delivered.add(flag.thread.thread_id)
             self.notifications_sent += 1
+            METRICS.counter("sds.notifications_sent").inc()
+            if TRACER.enabled:
+                TRACER.event("sds.notify", cat="sds", sds=self.name,
+                             thread=flag.thread.name,
+                             object=str(new_name),
+                             propagated=flag.propagate)
 
 
 # ---------------------------------------------------------------- predicates

@@ -17,6 +17,7 @@ from repro.core.control_stream import INITIAL_POINT, ControlStream
 from repro.core.datascope import DataScope
 from repro.core.history import HistoryRecord
 from repro.errors import ObjectNotFound, ThreadError
+from repro.obs import METRICS, TRACER
 from repro.octdb.database import DesignDatabase
 from repro.octdb.naming import ObjectName, parse_name
 
@@ -89,6 +90,11 @@ class DesignThread:
         if self.current_cursor in self.stream.node(point).parents:
             self.current_cursor = point
         self.point_access[point] = self.clock.now
+        METRICS.counter("thread.commits").inc()
+        if TRACER.enabled:
+            TRACER.event("thread.commit", cat="thread", thread=self.name,
+                         point=point, task=record.task,
+                         spliced=follow_path)
         return point
 
     # ----------------------------------------------------------------- rework
@@ -105,6 +111,11 @@ class DesignThread:
         old_cursor = self.current_cursor
         self.current_cursor = point
         self.point_access[point] = self.clock.now
+        METRICS.counter("thread.cursor_moves").inc()
+        if TRACER.enabled:
+            TRACER.event("thread.cursor_move", cat="thread",
+                         thread=self.name, src=old_cursor, dst=point,
+                         erase=erase)
         if not erase or old_cursor == point:
             return
         if not self.stream.is_ancestor(point, old_cursor):
@@ -120,6 +131,10 @@ class DesignThread:
                 doomed.update(self.stream.descendants(child))
         removed = self.stream.remove_points(doomed)
         self.scope.invalidate()
+        METRICS.counter("thread.branches_erased").inc()
+        if TRACER.enabled:
+            TRACER.event("thread.erase", cat="thread", thread=self.name,
+                         points=len(removed))
         for record in removed:
             for name in record.outputs + record.intermediates():
                 if self.db.exists(name) and not self.db.is_deleted(name):
@@ -203,6 +218,10 @@ class DesignThread:
         if other is self:
             raise ThreadError("a thread cannot import itself")
         self.imports[other.name] = other
+        METRICS.counter("thread.imports").inc()
+        if TRACER.enabled:
+            TRACER.event("thread.import", cat="thread", thread=self.name,
+                         imported=other.name)
 
     def imported_workspace(self, name: str) -> frozenset[str]:
         """Peek at an imported thread's current workspace."""

@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.core.control_stream import INITIAL_POINT
 from repro.core.thread import DesignThread
 from repro.errors import ThreadError
+from repro.obs import METRICS, TRACER
 
 
 def _require_frontier(thread: DesignThread, point: int, role: str) -> None:
@@ -39,6 +40,10 @@ def fork(
     """
     child = DesignThread(name, db=source.db, owner=owner or source.owner,
                          clock=source.clock)
+    METRICS.counter("thread.forks").inc()
+    if TRACER.enabled:
+        TRACER.event("thread.fork", cat="thread", source=source.name,
+                     child=name, inherit=inherit)
     if inherit == "none":
         return child
     if inherit == "state":
@@ -81,6 +86,10 @@ def cascade(
     trail_frontier = [trail_map[p] for p in trail.stream.frontier()
                       if p in trail_map]
     merged.current_cursor = max(trail_frontier, default=lead_map[connector])
+    METRICS.counter("thread.cascades").inc()
+    if TRACER.enabled:
+        TRACER.event("thread.cascade", cat="thread", lead=lead.name,
+                     trail=trail.name, merged=name)
     return merged
 
 
@@ -109,6 +118,10 @@ def join(
     second_map = merged.stream.graft(second.stream, INITIAL_POINT,
                                      INITIAL_POINT)
     merged.extra_objects = set(first.extra_objects) | set(second.extra_objects)
+    METRICS.counter("thread.joins").inc()
+    if TRACER.enabled:
+        TRACER.event("thread.join", cat="thread", first=first.name,
+                     second=second.name, merged=name, at_end=at_end)
     if not at_end:
         merged.current_cursor = INITIAL_POINT
         return merged

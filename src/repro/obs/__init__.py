@@ -1,0 +1,82 @@
+"""``repro.obs`` — observability substrate for the whole Papyrus stack.
+
+Two process-wide singletons thread through every subsystem:
+
+* :data:`TRACER` — a :class:`~repro.obs.tracer.Tracer` recording hierarchical
+  spans and point events on the virtual clock.  Disabled by default; every
+  instrumentation site guards with ``if TRACER.enabled:`` so the disabled
+  cost is one attribute read.
+* :data:`METRICS` — a :class:`~repro.obs.metrics.MetricsRegistry` of named
+  counters/gauges/histograms.  Always live (increments are one dict probe
+  plus a float add); snapshot with :func:`metrics_snapshot`.
+
+Both singletons are mutated in place (``TRACER.enable()``), never rebound,
+so ``from repro.obs import TRACER`` is safe at module level everywhere.
+
+Enable tracing for an installation::
+
+    from repro import Papyrus, obs
+
+    papyrus = Papyrus.standard()
+    obs.enable_tracing(papyrus.clock)
+    ...
+    obs.TRACER.export_jsonl("trace.jsonl")     # or export_chrome(...)
+"""
+
+from __future__ import annotations
+
+from repro.clock import VirtualClock
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.tracer import CATEGORIES, Span, Tracer, read_jsonl
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRICS",
+    "MetricError",
+    "MetricsRegistry",
+    "Span",
+    "TRACER",
+    "Tracer",
+    "disable_tracing",
+    "enable_tracing",
+    "metrics_snapshot",
+    "read_jsonl",
+]
+
+#: The process-wide tracer every subsystem reports to.
+TRACER = Tracer()
+
+#: The process-wide metrics registry (subsystem-local registries — e.g. one
+#: per cluster — exist too; this one holds cross-cutting engine counters).
+METRICS = MetricsRegistry()
+
+
+def enable_tracing(clock: VirtualClock | None = None,
+                   observe_clock: bool = False) -> Tracer:
+    """Turn the global tracer on, timestamped by ``clock``.
+
+    ``observe_clock=True`` additionally emits a ``clock.advance`` event each
+    time the clock moves (verbose; off by default).
+    """
+    TRACER.enable(clock=clock)
+    if observe_clock and clock is not None:
+        TRACER.observe_clock(clock)
+    return TRACER
+
+
+def disable_tracing() -> None:
+    TRACER.disable()
+
+
+def metrics_snapshot() -> dict:
+    """Snapshot of the process-wide registry."""
+    return METRICS.snapshot()

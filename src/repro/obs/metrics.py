@@ -1,0 +1,204 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+Replaces the ad-hoc counter bags scattered through the stack (most notably
+``ClusterStats``) with named, labelled instruments that snapshot to plain
+JSON — so benchmarks can attach a metrics snapshot to their ``BENCH_*.json``
+outputs and the shell's ``stats`` command can print one view of the whole
+installation.
+
+Instruments are created lazily and cached: ``registry.counter("x", host="a")``
+always returns the same object for the same name + labels, so hot paths can
+either keep a reference or re-look-up cheaply (one dict probe).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable
+
+from repro.errors import PapyrusError
+
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_.]*$")
+_LABEL_KEY_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
+
+#: Default histogram bucket boundaries (virtual seconds / generic magnitudes).
+DEFAULT_BUCKETS = (0.1, 1.0, 10.0, 60.0, 600.0, 3600.0, float("inf"))
+
+
+class MetricError(PapyrusError):
+    """Invalid metric name, label, or kind collision."""
+
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> LabelKey:
+    for key in labels:
+        if not _LABEL_KEY_RE.match(key):
+            raise MetricError(f"invalid label name {key!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically non-decreasing count."""
+
+    kind = "counter"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, busy seconds...)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelKey):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def snapshot(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """A distribution summarised by fixed buckets plus count/sum/min/max."""
+
+    kind = "histogram"
+    __slots__ = ("name", "labels", "buckets", "bucket_counts",
+                 "count", "total", "min", "max")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets or self.buckets[-1] != float("inf"):
+            self.buckets = self.buckets + (float("inf"),)
+        self.bucket_counts = [0] * len(self.buckets)
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                ("inf" if bound == float("inf") else f"{bound:g}"): n
+                for bound, n in zip(self.buckets, self.bucket_counts)
+            },
+        }
+
+
+class MetricsRegistry:
+    """A namespace of instruments, keyed by (name, sorted labels)."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelKey], Any] = {}
+        self._kinds: dict[str, str] = {}
+
+    # -------------------------------------------------------------- creation
+
+    def _get(self, cls, name: str, labels: dict[str, Any],
+             **kwargs: Any):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if metric.kind != cls.kind:
+                raise MetricError(
+                    f"{name!r} is registered as a {metric.kind}, "
+                    f"not a {cls.kind}"
+                )
+            return metric
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        registered = self._kinds.setdefault(name, cls.kind)
+        if registered != cls.kind:
+            raise MetricError(
+                f"{name!r} is registered as a {registered}, not a {cls.kind}"
+            )
+        metric = cls(name, key[1], **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, buckets: Iterable[float] | None = None,
+                  **labels: Any) -> Histogram:
+        if buckets is None:
+            return self._get(Histogram, name, labels)
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    # --------------------------------------------------------------- queries
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """The snapshot value of one instrument (0.0 if never touched)."""
+        metric = self._metrics.get((name, _label_key(labels)))
+        return metric.snapshot() if metric is not None else 0.0
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.items()))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A JSON-able view: ``name{k=v,...}`` → value (sorted, stable)."""
+        out: dict[str, Any] = {}
+        for (name, labels), metric in sorted(self._metrics.items()):
+            if labels:
+                rendered = ",".join(f"{k}={v}" for k, v in labels)
+                out[f"{name}{{{rendered}}}"] = metric.snapshot()
+            else:
+                out[name] = metric.snapshot()
+        return out
+
+    def clear(self) -> None:
+        """Forget every instrument (tests and fresh installations)."""
+        self._metrics.clear()
+        self._kinds.clear()

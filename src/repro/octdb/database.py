@@ -14,6 +14,7 @@ from typing import Any, Callable, Iterator
 
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.errors import ObjectNotFound, VersionConflict
+from repro.obs import METRICS, TRACER
 from repro.octdb.naming import ObjectName, parse_name
 
 
@@ -108,6 +109,10 @@ class DesignDatabase:
         )
         chain.append(_Entry(obj=obj, last_access=self.clock.now))
         self._bytes_live += obj.size
+        METRICS.counter("db.versions_created").inc()
+        if TRACER.enabled:
+            TRACER.event("db.version", cat="db", object=str(obj.name),
+                         creator=creator, size=obj.size)
         return obj
 
     # ------------------------------------------------------------------- read
@@ -173,6 +178,10 @@ class DesignDatabase:
         entry = self._entry(name)
         if entry.deleted_at is None:
             entry.deleted_at = self.clock.now
+            METRICS.counter("db.versions_tombstoned").inc()
+            if TRACER.enabled:
+                TRACER.event("db.delete", cat="db",
+                             object=str(entry.obj.name))
 
     def undelete(self, name: str | ObjectName) -> None:
         """Resurrect a tombstoned version that has not been reclaimed yet."""
@@ -213,6 +222,10 @@ class DesignDatabase:
                 reclaimed.append(entry.obj.name)
                 self._bytes_live -= entry.obj.size
                 entry.obj = None  # type: ignore[assignment]
+        if reclaimed:
+            METRICS.counter("db.versions_reclaimed").inc(len(reclaimed))
+            if TRACER.enabled:
+                TRACER.event("db.reclaim", cat="db", count=len(reclaimed))
         return reclaimed
 
     # ------------------------------------------------------------- statistics

@@ -11,30 +11,102 @@ from __future__ import annotations
 
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from collections.abc import MutableMapping
+from typing import Any, Callable, Iterator
 
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.errors import SchedulerError
+from repro.obs import TRACER
+from repro.obs.metrics import MetricsRegistry
 from repro.sprite.host import OwnerSchedule, Workstation
 from repro.sprite.process import ProcessState, SimProcess
 
 _EPS = 1e-9
 
 
-@dataclass
-class ClusterStats:
-    """Counters the benchmarks report."""
+class _BusySeconds(MutableMapping):
+    """Dict-facing view over the ``cluster.busy_seconds{host=...}`` gauges.
 
-    submitted: int = 0
-    completed: int = 0
-    killed: int = 0
-    migrations: int = 0
-    evictions: int = 0
-    remigrations: int = 0
-    ran_at_home: int = 0
-    ran_remote: int = 0
-    busy_seconds: dict[str, float] = field(default_factory=dict)
+    Preserves the old ``stats.busy_seconds[host]`` API while the storage
+    lives in the metrics registry (one labelled gauge per host).
+    """
+
+    def __init__(self, registry: MetricsRegistry):
+        self._registry = registry
+        self._gauges: dict[str, Any] = {}   # host -> Gauge (hot-path cache)
+
+    def _gauge(self, host: str):
+        gauge = self._gauges.get(host)
+        if gauge is None:
+            gauge = self._registry.gauge("cluster.busy_seconds", host=host)
+            self._gauges[host] = gauge
+        return gauge
+
+    def __setitem__(self, host: str, value: float) -> None:
+        self._gauge(host).set(value)
+
+    def __getitem__(self, host: str) -> float:
+        if host not in self._gauges:
+            raise KeyError(host)
+        return self._gauges[host].value
+
+    def __delitem__(self, host: str) -> None:
+        if host not in self._gauges:
+            raise KeyError(host)
+        del self._gauges[host]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._gauges))
+
+    def __len__(self) -> int:
+        return len(self._gauges)
+
+    def __repr__(self) -> str:
+        return repr(dict(self))
+
+
+class ClusterStats:
+    """Counters the benchmarks report, backed by a metrics registry.
+
+    The historical attribute API (``stats.migrations``, ``stats.submitted``,
+    ``stats.busy_seconds[host]``...) is preserved; the storage is named
+    instruments in ``stats.registry``, so the shell's ``stats`` command and
+    benchmark snapshots see the same numbers the benchmarks print.
+    """
+
+    FIELDS = ("submitted", "completed", "killed", "migrations", "evictions",
+              "remigrations", "ran_at_home", "ran_remote")
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"cluster.{name}")
+            for name in self.FIELDS
+        }
+        self.busy_seconds = _BusySeconds(self.registry)
+
+    def inc(self, field: str, amount: float = 1.0) -> None:
+        self._counters[field].inc(amount)
+
+    def add_busy(self, host: str, seconds: float) -> None:
+        """Accumulate busy time for ``host`` (hot path: cached gauge)."""
+        self.busy_seconds._gauge(host).inc(seconds)
+
+    def __getattr__(self, name: str) -> int:
+        counters = self.__dict__.get("_counters")
+        if counters is not None and name in counters:
+            return int(counters[name].value)
+        raise AttributeError(name)
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {f: int(c.value)
+                               for f, c in self._counters.items()}
+        out["busy_seconds"] = dict(self.busy_seconds)
+        return out
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ClusterStats({rendered})"
 
 
 class Cluster:
@@ -140,13 +212,17 @@ class Cluster:
         )
         target.resident.add(proc.pid)
         self._procs[proc.pid] = proc
-        self.stats.submitted += 1
+        self.stats.inc("submitted")
         if migrated:
             proc.migrations += 1
-            self.stats.migrations += 1
-            self.stats.ran_remote += 1
+            self.stats.inc("migrations")
+            self.stats.inc("ran_remote")
         else:
-            self.stats.ran_at_home += 1
+            self.stats.inc("ran_at_home")
+        if TRACER.enabled:
+            TRACER.event("cluster.submit", cat="cluster", pid=proc.pid,
+                         label=label, host=target.name, migrated=migrated,
+                         work=proc.work)
         return proc
 
     def kill(self, proc: SimProcess) -> None:
@@ -157,7 +233,10 @@ class Cluster:
         proc.finished_at = self.clock.now
         self.hosts[proc.host].resident.discard(proc.pid)
         del self._procs[proc.pid]
-        self.stats.killed += 1
+        self.stats.inc("killed")
+        if TRACER.enabled:
+            TRACER.event("cluster.kill", cat="cluster", pid=proc.pid,
+                         label=proc.label, host=proc.host)
 
     def running(self) -> list[SimProcess]:
         return sorted(self._procs.values(), key=lambda p: p.pid)
@@ -172,9 +251,7 @@ class Cluster:
             for proc in self._procs.values():
                 rate = self.hosts[proc.host].rate()
                 proc.work -= span * rate
-                self.stats.busy_seconds[proc.host] = (
-                    self.stats.busy_seconds.get(proc.host, 0.0) + span
-                )
+                self.stats.add_busy(proc.host, span)
         self._last_charge = now
 
     def _next_completion(self) -> tuple[float, SimProcess | None]:
@@ -212,7 +289,11 @@ class Cluster:
                 self.hosts[proc.home].resident.add(pid)
                 proc.host = proc.home
                 proc.evictions += 1
-                self.stats.evictions += 1
+                self.stats.inc("evictions")
+                if TRACER.enabled:
+                    TRACER.event("cluster.evict", cat="cluster", pid=pid,
+                                 label=proc.label, host=host.name,
+                                 to=proc.home)
 
     def remigrate(self) -> int:
         """Move stranded migratable processes from home to idle hosts
@@ -234,7 +315,10 @@ class Cluster:
             proc.host = idle.name
             proc.migrations += 1
             moved += 1
-            self.stats.remigrations += 1
+            self.stats.inc("remigrations")
+            if TRACER.enabled:
+                TRACER.event("cluster.remigrate", cat="cluster", pid=proc.pid,
+                             label=proc.label, to=idle.name)
         return moved
 
     def step(self) -> list[SimProcess]:
@@ -265,15 +349,21 @@ class Cluster:
                 candidate.finished_at = self.clock.now
                 self.hosts[candidate.host].resident.discard(candidate.pid)
                 del self._procs[candidate.pid]
-                self.stats.completed += 1
+                self.stats.inc("completed")
                 done.append(candidate)
         if not done:  # numeric corner: force the chosen one through
             proc.state = ProcessState.DONE
             proc.finished_at = self.clock.now
             self.hosts[proc.host].resident.discard(proc.pid)
             del self._procs[proc.pid]
-            self.stats.completed += 1
+            self.stats.inc("completed")
             done.append(proc)
+        if TRACER.enabled:
+            for finished in done:
+                TRACER.event("cluster.complete", cat="cluster",
+                             pid=finished.pid, label=finished.label,
+                             host=finished.host,
+                             elapsed=self.clock.now - finished.started_at)
         if self.remigration:
             self.remigrate()
         return done

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cad.registry import ToolCall, ToolRegistry, ToolResult
 from repro.core.history import StepRecord
+from repro.obs import METRICS, TRACER
 from repro.errors import (
     RestartSignal,
     TaskAborted,
@@ -336,6 +337,10 @@ class TaskExecution:
                            scope=scope, occurrence=occurrence)
         self._admitted[pending.key] = pending
         self._last_admitted = pending
+        METRICS.counter("engine.steps_issued").inc()
+        if TRACER.enabled:
+            TRACER.event("step.issue", cat="step", step=pending.label,
+                         task=self.template.name, instance=self.instance)
         for formal in spec.outputs:
             owner, name = scope.resolve(formal)
             self.promised.add((owner.id, name))
@@ -344,6 +349,10 @@ class TaskExecution:
             self._dispatch(pending)
         else:
             self.suspending.append(pending)
+            METRICS.counter("engine.steps_suspended").inc()
+            if TRACER.enabled:
+                TRACER.event("step.suspend", cat="step", step=pending.label,
+                             instance=self.instance)
 
     def _ready(self, pending: _Pending) -> bool:
         for formal in pending.spec.inputs:
@@ -413,6 +422,11 @@ class TaskExecution:
             priority=spec.priority,
         )
         self.active.append(pending)
+        METRICS.counter("engine.steps_dispatched").inc()
+        if TRACER.enabled:
+            TRACER.event("step.dispatch", cat="step", step=pending.label,
+                         tool=tool_name, host=pending.proc.host,
+                         instance=self.instance)
 
     # ------------------------------------------------------------ completion
 
@@ -477,6 +491,19 @@ class TaskExecution:
             status=result.status,
         )
         self.completed.append(pending)
+        METRICS.counter("engine.steps_completed").inc()
+        METRICS.histogram("engine.step_seconds").observe(finished - started)
+        if not result.ok:
+            METRICS.counter("engine.steps_failed").inc()
+        if TRACER.enabled:
+            TRACER.complete_span(
+                f"step:{pending.spec.name}", "step", started, finished,
+                tool=call.tool, host=proc.host, status=result.status,
+                step=pending.label, instance=self.instance,
+            )
+            TRACER.event("step.complete", cat="step", step=pending.label,
+                         status=result.status, host=proc.host,
+                         instance=self.instance)
         self.interp.set_var("status", str(result.status))
         if not result.ok:
             self._handle_failure(pending)
@@ -558,6 +585,11 @@ class TaskExecution:
             )
         self.restarts += 1
         resumed = self._resumed_internal_id(pending)
+        METRICS.counter("engine.restarts").inc()
+        if TRACER.enabled:
+            TRACER.event("task.abort", cat="task", step=pending.label,
+                         reason=reason, restart=self.restarts,
+                         instance=self.instance)
         if self.on_restart is not None:
             self.on_restart(self, pending.spec)
         self._undo_after(resumed if resumed is not None else ())
@@ -578,6 +610,10 @@ class TaskExecution:
             p for p in self.suspending if not later(p.internal_id)
         ]
         for pending in [p for p in self.completed if later(p.internal_id)]:
+            METRICS.counter("engine.steps_undone").inc()
+            if TRACER.enabled:
+                TRACER.event("step.undo", cat="step", step=pending.label,
+                             instance=self.instance)
             self.completed.remove(pending)
             self.completed_ok.discard(pending.internal_id)
             for formal in pending.spec.outputs:
@@ -609,6 +645,10 @@ class TaskExecution:
             if self.db.exists(name) and not self.db.is_deleted(name):
                 self.db.delete(name)
         self.aborted_reason = reason
+        METRICS.counter("engine.tasks_aborted").inc()
+        if TRACER.enabled:
+            TRACER.event("task.aborted", cat="task", task=self.template.name,
+                         reason=reason, instance=self.instance)
         raise TaskAborted(self.template.name, reason=reason)
 
     # -------------------------------------------------------------------- run
@@ -619,13 +659,16 @@ class TaskExecution:
 
     def run(self) -> None:
         """Interpret the template body to completion (or TaskAborted)."""
-        while True:
-            try:
-                self._interpret()
-                self._finish()
-                return
-            except RestartSignal:
-                continue
+        with TRACER.span(f"task:{self.template.name}", cat="task",
+                         instance=self.instance):
+            while True:
+                try:
+                    self._interpret()
+                    self._finish()
+                    METRICS.counter("engine.tasks_completed").inc()
+                    return
+                except RestartSignal:
+                    continue
 
     def _interpret(self) -> None:
         """(Re-)interpret the whole template body from the top.

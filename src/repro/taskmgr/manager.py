@@ -13,6 +13,7 @@ from repro.cad.registry import ToolRegistry
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.core.history import HistoryRecord
 from repro.errors import TaskAborted
+from repro.obs import METRICS, TRACER
 from repro.octdb.database import DesignDatabase
 from repro.sprite.cluster import Cluster
 from repro.taskmgr.attrdb import AttributeDatabase
@@ -97,6 +98,12 @@ class TaskManager:
             for name_ in execution.intermediate_names():
                 if self.db.exists(name_) and not self.db.is_deleted(name_):
                     self.db.delete(name_)
+        METRICS.counter("engine.history_records").inc()
+        if TRACER.enabled:
+            TRACER.event("task.commit", cat="task", task=record.task,
+                         steps=len(record.steps),
+                         outputs=list(record.outputs),
+                         instance=execution.instance)
 
     def run_concurrent(
         self,

@@ -1,0 +1,368 @@
+"""Tests for the observability substrate: tracer, metrics, exporters,
+clock hooks, shell surfacing, and the abort-chain integration trace."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cad import default_registry
+from repro.clock import VirtualClock
+from repro.obs.metrics import MetricError, MetricsRegistry
+from repro.obs.schema import validate_events, validate_jsonl
+from repro.obs.tracer import Tracer, read_jsonl
+from repro.octdb import DesignDatabase
+from repro.sprite import Cluster
+from repro.taskmgr import TaskManager
+from repro.taskmgr.attrdb import AttributeDatabase, standard_computers
+from repro.workloads import seed_designs, standard_library
+
+
+@pytest.fixture
+def tracer(clock: VirtualClock) -> Tracer:
+    return Tracer(clock=clock, enabled=True)
+
+
+@pytest.fixture
+def global_tracing(clock: VirtualClock):
+    """Enable the process-wide tracer for one test, fully restored after."""
+    obs.TRACER.clear()
+    obs.TRACER.enable(clock=clock)
+    yield obs.TRACER
+    obs.TRACER.disable()
+    obs.TRACER.clear()
+
+
+class TestTracer:
+    def test_span_nesting(self, tracer: Tracer, clock: VirtualClock):
+        with tracer.span("outer", cat="task"):
+            clock.advance(5)
+            with tracer.span("inner", cat="step"):
+                clock.advance(2)
+                tracer.event("tick", cat="clock")
+            clock.advance(1)
+        spans = {s["name"]: s for s in tracer.spans()}
+        assert spans["outer"]["parent"] is None
+        assert spans["inner"]["parent"] == spans["outer"]["id"]
+        assert spans["outer"]["ts"] == 0.0
+        assert spans["outer"]["dur"] == 8.0
+        assert spans["inner"]["ts"] == 5.0
+        assert spans["inner"]["dur"] == 2.0
+        (event,) = tracer.find("tick")
+        assert event["parent"] == spans["inner"]["id"]
+        assert event["ts"] == 7.0
+
+    def test_disabled_tracer_is_a_noop(self, clock: VirtualClock):
+        tracer = Tracer(clock=clock, enabled=False)
+        with tracer.span("nothing"):
+            tracer.event("nope")
+        assert tracer.events == []
+
+    def test_span_records_error_type(self, tracer: Tracer):
+        with pytest.raises(ValueError):
+            with tracer.span("doomed"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span["args"]["error"] == "ValueError"
+
+    def test_complete_span_explicit_timing(self, tracer: Tracer):
+        tracer.complete_span("step:X", "step", 3.0, 7.5, tool="misII")
+        (span,) = tracer.spans()
+        assert span["ts"] == 3.0 and span["dur"] == 4.5
+        assert span["args"]["tool"] == "misII"
+
+    def test_capacity_drops_not_grows(self, clock: VirtualClock):
+        tracer = Tracer(clock=clock, enabled=True, capacity=3)
+        for i in range(10):
+            tracer.event(f"e{i}")
+        assert len(tracer.events) == 3
+        assert tracer.dropped == 7
+
+    def test_jsonl_round_trip(self, tracer: Tracer, clock: VirtualClock):
+        with tracer.span("outer"):
+            clock.advance(1)
+            tracer.event("mid", cat="db", object="a@1")
+        buffer = io.StringIO()
+        tracer.export_jsonl(buffer)
+        buffer.seek(0)
+        parsed = read_jsonl(buffer)
+        assert parsed == tracer.sorted_events()
+        assert validate_events(parsed) == []
+
+    def test_jsonl_file_round_trip_and_schema(self, tracer: Tracer,
+                                              clock: VirtualClock, tmp_path):
+        with tracer.span("t"):
+            clock.advance(2)
+            tracer.event("e")
+        path = str(tmp_path / "trace.jsonl")
+        written = tracer.export_jsonl(path)
+        count, errors = validate_jsonl(path)
+        assert (written, errors) == (2, [])
+        assert read_jsonl(path) == tracer.sorted_events()
+
+    def test_chrome_export_loads_and_maps_units(self, tracer: Tracer,
+                                                clock: VirtualClock, tmp_path):
+        with tracer.span("t"):
+            clock.advance(1.5)
+            tracer.event("e")
+        path = str(tmp_path / "trace.json")
+        tracer.export_chrome(path)
+        with open(path) as fh:
+            doc = json.load(fh)
+        phases = {e["name"]: e for e in doc["traceEvents"]}
+        assert phases["t"]["ph"] == "X"
+        assert phases["t"]["dur"] == pytest.approx(1.5e6)
+        assert phases["e"]["ph"] == "i"
+
+    def test_schema_rejects_bad_events(self):
+        bad = [{"kind": "span", "name": "", "cat": "x", "ts": -1,
+                "seq": 0, "parent": "zzz", "args": []}]
+        errors = validate_events(bad)
+        assert len(errors) >= 5
+
+
+class TestClockHooks:
+    def test_on_advance_fires_with_old_and_new(self, clock: VirtualClock):
+        seen: list[tuple[float, float]] = []
+        clock.on_advance.append(lambda old, new: seen.append((old, new)))
+        clock.advance(3)
+        clock.advance_to(10)
+        clock.advance_to(5)      # no-op: already past
+        clock.advance(0)         # no-op: zero-width advance
+        assert seen == [(0.0, 3.0), (3.0, 10.0)]
+
+    def test_tracer_clock_events_interleave_with_spans(self):
+        """Clock advances land between span open and close, at the right
+        timestamps, deterministically across runs."""
+
+        def run() -> list[tuple]:
+            clock = VirtualClock()
+            tracer = Tracer(clock=clock, enabled=True)
+            tracer.observe_clock(clock)
+            with tracer.span("work"):
+                clock.advance(4)
+                clock.advance(6)
+            return [(e["name"], e["ts"], e["seq"])
+                    for e in tracer.sorted_events()]
+
+        first, second = run(), run()
+        assert first == second   # deterministic across runs
+        assert first == [
+            ("work", 0.0, 3),    # span sorts by its start time
+            ("clock.advance", 4.0, 1),
+            ("clock.advance", 10.0, 2),
+        ]
+        # and the span's extent brackets both advances
+        clock = VirtualClock()
+        tracer = Tracer(clock=clock, enabled=True)
+        tracer.observe_clock(clock)
+        with tracer.span("work"):
+            clock.advance(4)
+            clock.advance(6)
+        (span,) = tracer.spans()
+        advances = tracer.find("clock.advance")
+        assert all(span["ts"] <= e["ts"] <= span["ts"] + span["dur"]
+                   for e in advances)
+        assert all(e["parent"] == span["id"] for e in advances)
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram(self):
+        registry = MetricsRegistry()
+        registry.counter("steps").inc()
+        registry.counter("steps").inc(2)
+        registry.gauge("depth").set(7)
+        registry.histogram("latency").observe(0.05)
+        registry.histogram("latency").observe(30.0)
+        snap = registry.snapshot()
+        assert snap["steps"] == 3.0
+        assert snap["depth"] == 7.0
+        assert snap["latency"]["count"] == 2
+        assert snap["latency"]["min"] == 0.05
+        assert snap["latency"]["max"] == 30.0
+
+    def test_labels_key_same_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("moves", direction="in").inc()
+        registry.counter("moves", direction="out").inc(4)
+        assert registry.counter("moves", direction="in").value == 1.0
+        assert registry.value("moves", direction="out") == 4.0
+        snap = registry.snapshot()
+        assert snap["moves{direction=in}"] == 1.0
+        assert snap["moves{direction=out}"] == 4.0
+
+    def test_label_and_name_validation(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("Bad Name")
+        with pytest.raises(MetricError):
+            registry.counter("ok", **{"Bad-Label": "x"})
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(MetricError):
+            registry.gauge("x")
+        with pytest.raises(MetricError):
+            registry.histogram("x", host="a")
+
+    def test_counters_cannot_decrease(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MetricError):
+            registry.counter("c").inc(-1)
+
+    def test_snapshot_is_json_serialisable(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", host="a").observe(2.0)
+        registry.counter("c").inc()
+        json.dumps(registry.snapshot(), sort_keys=True)
+
+
+class TestClusterStatsMigration:
+    def test_attribute_reads_preserved(self, clock: VirtualClock):
+        cluster = Cluster.homogeneous(3, clock=clock)
+        cluster.submit("a", work=10.0)
+        cluster.submit("b", work=5.0, migratable=False)
+        cluster.drain()
+        stats = cluster.stats
+        assert stats.submitted == 2
+        assert stats.completed == 2
+        assert stats.migrations == 1
+        assert stats.ran_at_home == 1
+        assert stats.ran_remote == 1
+        assert stats.killed == 0
+        # busy_seconds keeps its dict API
+        assert stats.busy_seconds["home"] > 0
+        assert set(stats.busy_seconds) <= set(cluster.hosts)
+        assert stats.busy_seconds.get("nope", -1.0) == -1.0
+        assert sum(stats.busy_seconds.values()) > 0
+
+    def test_stats_backed_by_registry(self, clock: VirtualClock):
+        cluster = Cluster.homogeneous(2, clock=clock)
+        cluster.submit("a", work=1.0)
+        cluster.drain()
+        snap = cluster.stats.registry.snapshot()
+        assert snap["cluster.submitted"] == 1.0
+        assert snap["cluster.completed"] == 1.0
+        assert any(key.startswith("cluster.busy_seconds{host=")
+                   for key in snap)
+
+    def test_unknown_attribute_still_raises(self, clock: VirtualClock):
+        cluster = Cluster.homogeneous(1, clock=clock)
+        with pytest.raises(AttributeError):
+            cluster.stats.does_not_exist
+
+
+@pytest.fixture
+def taskenv():
+    clk = VirtualClock()
+    db = DesignDatabase(clock=clk)
+    seed = seed_designs(db)
+    cluster = Cluster.homogeneous(4, clock=clk)
+    tm = TaskManager(
+        db, default_registry(), standard_library(), cluster=cluster,
+        attrdb=standard_computers(AttributeDatabase(db)), clock=clk,
+    )
+    return tm, db, seed, clk
+
+
+class TestIntegrationTrace:
+    def test_task_run_emits_span_tree(self, taskenv, global_tracing):
+        tm, db, seed, clk = taskenv
+        global_tracing.enable(clock=clk)
+        tm.run_task("Padp", inputs={"Incell": seed["shifter.net"]},
+                    outputs={"Outcell": "sh.pad"})
+        (task_span,) = [s for s in global_tracing.spans()
+                        if s["name"] == "task:Padp"]
+        child_names = {e["name"] for e in
+                       global_tracing.span_children(task_span["id"])}
+        assert {"step.issue", "step.dispatch",
+                "step.complete"} <= child_names
+        (step_span,) = [s for s in global_tracing.spans()
+                        if s["name"] == "step:Pads_Placement"]
+        assert step_span["parent"] == task_span["id"]
+        assert step_span["dur"] > 0
+
+    def test_abort_chain_trace(self, taskenv, global_tracing):
+        """A programmable abort shows the full §4.3.4 chain in the trace:
+        issue → dispatch → (failing) complete → abort → undo → re-issue."""
+        tm, db, seed, clk = taskenv
+        global_tracing.enable(clock=clk)
+        tm.on_restart = lambda ex, spec: ex.option_overrides.setdefault(
+            "Detailed_Routing", []).extend(["-t", "64"])
+        tm.run_task("Macro_Place_Route",
+                    inputs={"Incell": seed["alu.net"]},
+                    outputs={"Outcell": "alu.routed"})
+
+        events = global_tracing.sorted_events()
+        names = [e["name"] for e in events]
+        assert "task.abort" in names
+        assert "step.undo" in names
+
+        # Every step event hangs off the one task span (task.commit fires
+        # after the span closes, so it is parentless by design).
+        (task_span,) = [s for s in global_tracing.spans()
+                        if s["name"] == "task:Macro_Place_Route"]
+        for event in events:
+            if event["kind"] == "event" and event["cat"] == "step":
+                assert event["parent"] == task_span["id"]
+
+        # The failing step's chain is ordered: dispatch → failed completion
+        # → abort → undo → re-dispatch of the same step.
+        def seqs(name, step_prefix=None):
+            return [e["seq"] for e in events if e["name"] == name
+                    and (step_prefix is None
+                         or e["args"]["step"].startswith(step_prefix))]
+
+        route_dispatches = seqs("step.dispatch", "Detailed_Routing")
+        assert len(route_dispatches) == 2          # original + retry
+        (abort_seq,) = seqs("task.abort")
+        failed = [e for e in events if e["name"] == "step.complete"
+                  and e["args"]["status"] != 0]
+        assert failed and failed[0]["seq"] < abort_seq
+        undo_seqs = seqs("step.undo")
+        assert undo_seqs and all(s > abort_seq for s in undo_seqs)
+        assert route_dispatches[0] < abort_seq < route_dispatches[1]
+
+        # Metrics tell the same story.
+        assert obs.METRICS.value("engine.restarts") >= 1
+        assert obs.METRICS.value("engine.steps_undone") >= 1
+
+        # And the whole trace validates + round-trips.
+        buffer = io.StringIO()
+        global_tracing.export_jsonl(buffer)
+        buffer.seek(0)
+        parsed = read_jsonl(buffer)
+        assert validate_events(parsed) == []
+        assert parsed == global_tracing.sorted_events()
+
+
+class TestShellSurface:
+    def test_trace_stats_spans_commands(self, tmp_path):
+        from repro.cli import Shell
+
+        obs.TRACER.clear()
+        try:
+            shell = Shell()
+            shell.execute("trace on")
+            shell.execute("thread work")
+            shell.execute("invoke Padp Incell=adder.net -- Outcell=a.pad")
+            stats_out = "\n".join(shell.execute("stats"))
+            assert "cluster.submitted" in stats_out
+            assert "engine.steps_issued" in stats_out
+            spans_out = "\n".join(shell.execute("spans"))
+            assert "task:Padp" in spans_out
+            path = str(tmp_path / "t.jsonl")
+            shell.execute(f"trace export {path}")
+            count, errors = validate_jsonl(path)
+            assert count > 0 and errors == []
+            status = "\n".join(shell.execute("trace status"))
+            assert "tracing on" in status
+            shell.execute("trace off")
+            assert not obs.TRACER.enabled
+        finally:
+            obs.TRACER.disable()
+            obs.TRACER.clear()
