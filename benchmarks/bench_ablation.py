@@ -37,7 +37,8 @@ def _chain(depth: int) -> tuple[ControlStream, int]:
 def stride_cost(depth: int, stride: int) -> tuple[int, int]:
     """(warm query cost, number of cached points) for one stride setting."""
     stream, tip = _chain(depth)
-    scope = DataScope(stream, cache_stride=stride)
+    # Epoch-keyed result cache ablated: this sweep measures the stride layer.
+    scope = DataScope(stream, cache_stride=stride, result_cache_size=0)
     scope.thread_state(tip)
     record = HistoryRecord(task="new", inputs=(), outputs=("n@1",), steps=())
     tip = stream.append(record, tip)

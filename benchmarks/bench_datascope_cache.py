@@ -38,7 +38,9 @@ def build_stream(depth: int, branch_every: int = 10) -> tuple[ControlStream, int
 def query_cost(depth: int, stride: int) -> tuple[int, float]:
     """Nodes visited + wall time for a warm query at the frontier."""
     stream, tip = build_stream(depth)
-    scope = DataScope(stream, cache_stride=stride)
+    # result_cache_size=0 ablates the epoch-keyed full-result cache (which
+    # would answer every warm re-query in O(1)) to isolate the stride layer.
+    scope = DataScope(stream, cache_stride=stride, result_cache_size=0)
     scope.thread_state(tip)              # warm pass (fills caches if any)
     # simulate one more commit, then re-query: the common interactive case
     record = HistoryRecord(task="new", inputs=(), outputs=("new@1",), steps=())

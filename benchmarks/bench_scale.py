@@ -90,3 +90,88 @@ def test_bookkeeping_scales(benchmark):
     assert large["index_query_us"] < 1000
 
     export_observability("scale", {"rows": results})
+
+
+def measure_ping_pong(commits: int = 200, moves: int = 50) -> dict:
+    """Rework-heavy workload: the cursor ping-pongs between two design
+    points, recomputing the data scope after every context switch — the
+    pattern PR-1's traces showed dominating event volume.  Reports
+    ``DataScope.nodes_visited`` with the epoch-keyed cache on vs off."""
+    project = generate_project(commits, seed=11)
+    thread = project.designer.thread
+    points = thread.stream.points()
+    far, near = points[-1], points[len(points) // 2]
+    scope = thread.scope
+
+    scope.nodes_visited = 0
+    hits_before = obs.METRICS.value("datascope.cache_hits")
+    start = time.perf_counter()
+    for _ in range(moves):
+        thread.move_cursor(near)
+        thread.data_scope()
+        thread.move_cursor(far)
+        thread.data_scope()
+    cached_s = time.perf_counter() - start
+    cached_visits = scope.nodes_visited
+    cache_hits = obs.METRICS.value("datascope.cache_hits") - hits_before
+
+    scope.nodes_visited = 0
+    start = time.perf_counter()
+    for _ in range(moves):
+        thread.move_cursor(near)
+        scope.thread_state(near, use_cache=False)
+        thread.move_cursor(far)
+        scope.thread_state(far, use_cache=False)
+    uncached_s = time.perf_counter() - start
+    uncached_visits = scope.nodes_visited
+
+    return {
+        "commits": commits,
+        "moves": moves * 2,
+        "cached_visits": cached_visits,
+        "uncached_visits": uncached_visits,
+        "visit_ratio": uncached_visits / max(1, cached_visits),
+        "cache_hits": cache_hits,
+        "cached_us_per_move": cached_s / (moves * 2) * 1e6,
+        "uncached_us_per_move": uncached_s / (moves * 2) * 1e6,
+    }
+
+
+def test_rework_ping_pong_cache(benchmark):
+    benchmark.pedantic(lambda: measure_ping_pong(50, moves=10),
+                       rounds=1, iterations=1)
+
+    banner("E-SCALE — rework ping-pong: epoch-keyed scope cache on vs off")
+    rows = []
+    results = {}
+    for commits in (50, 200, 400):
+        result = measure_ping_pong(commits)
+        results[commits] = result
+        rows.append([
+            commits, result["moves"], result["cached_visits"],
+            result["uncached_visits"], result["visit_ratio"],
+            result["cached_us_per_move"], result["uncached_us_per_move"],
+        ])
+    table(["commits", "moves", "visits (cached)", "visits (uncached)",
+           "ratio", "cached (us/move)", "uncached (us/move)"], rows)
+
+    for result in results.values():
+        # the acceptance bar: repeated cursor moves visit >=10x fewer nodes
+        assert result["visit_ratio"] >= 10, result
+        assert result["cache_hits"] > 0
+
+    export_observability("scale_rework", {"rows": results})
+
+
+if __name__ == "__main__":
+    # CI cache-smoke entry point (no pytest needed): run the rework
+    # workload small and fail if the cache never hits.
+    result = measure_ping_pong(commits=60, moves=20)
+    hits = obs.METRICS.value("datascope.cache_hits")
+    print(f"ping-pong: {result['cached_visits']} cached vs "
+          f"{result['uncached_visits']} uncached node visits "
+          f"(ratio {result['visit_ratio']:.1f}x), "
+          f"datascope.cache_hits={hits:.0f}")
+    assert hits > 0, "datascope.cache_hits stayed zero — cache regression"
+    assert result["visit_ratio"] >= 10, result
+    print("cache smoke OK")

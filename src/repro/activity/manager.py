@@ -15,7 +15,7 @@ from repro.activity.access import HourIndex
 from repro.activity.viewport import Viewport, grid_layout
 from repro.core.history import HistoryRecord
 from repro.core.thread import DesignThread
-from repro.errors import TaskAborted
+from repro.errors import ObjectNotFound, TaskAborted
 from repro.octdb.naming import parse_name
 from repro.taskmgr.manager import TaskManager
 
@@ -64,9 +64,12 @@ class ActivityManager:
             if name.is_path:
                 # Hierarchical path: implicit check-in from outside.
                 resolved[formal] = str(self.thread.check_in(name))
-            elif self.thread.is_visible(name):
+                continue
+            try:
+                # One pass through the (epoch-cached) data scope instead of
+                # the old is_visible() probe followed by a second resolve.
                 resolved[formal] = str(self.thread.resolve(name))
-            else:
+            except ObjectNotFound:
                 # Not in the workspace but present in the database: same
                 # implicit check-in the path format gets (library cells).
                 resolved[formal] = str(self.thread.check_in(name))

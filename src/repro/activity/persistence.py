@@ -18,6 +18,7 @@ from repro.core.history import HistoryRecord, StepRecord
 from repro.core.lwt import LWTSystem
 from repro.core.thread import DesignThread
 from repro.errors import ThreadError
+from repro.octdb.naming import parse_name
 from repro.octdb.persistence import load_database, save_database
 
 FORMAT_VERSION = 1
@@ -180,7 +181,8 @@ def load_system(directory: str | Path, lwt: LWTSystem | None = None) -> LWTSyste
         thread_from_dict(thread_doc, lwt)
     for sds_doc in doc["spaces"]:
         sds = lwt.create_sds(sds_doc["name"])
-        sds._objects.update(sds_doc["objects"])
+        for text in sds_doc["objects"]:
+            sds._index_add(parse_name(text))
         for member in sds_doc["members"]:
             if member in lwt.threads:
                 sds.register(lwt.threads[member])

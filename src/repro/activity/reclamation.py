@@ -154,8 +154,11 @@ class Reclaimer:
             annotation="archived by horizontal aging",
         )
         summary.recorded_at = now
+        # replace_region bumps the stream's scope epoch and drops the
+        # affected per-node caches itself (the mutator invalidation
+        # contract) — no ad-hoc scope.invalidate() needed.
         stream.replace_region(old, summary)
-        self.thread.scope.invalidate()
+        self.thread.prune_point_access()
         self._delete_objects(doomed, report)
         report.records_pruned += len(old)
         if self.thread.current_cursor not in stream:
@@ -224,12 +227,14 @@ class Reclaimer:
         for point in doomed:
             if point == self.thread.current_cursor:
                 self.thread.current_cursor = INITIAL_POINT
+            # splice_out invalidates the forward closure's cached scopes
+            # and bumps the scope epoch itself.
             record = stream.splice_out(point)
             self._delete_objects(
                 record.outputs + record.intermediates(), report
             )
             report.records_pruned += 1
-        self.thread.scope.invalidate()
+        self.thread.prune_point_access()
         return report
 
     # ------------------------------------------------- dead-end branch GC
@@ -286,7 +291,7 @@ class Reclaimer:
                         record.outputs + record.intermediates(), report
                     )
             stream.remove_points(set(branch))
-            self.thread.scope.invalidate()
+            self.thread.prune_point_access()
             report.records_pruned += len(branch)
         return report
 

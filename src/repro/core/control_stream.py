@@ -11,6 +11,12 @@ The §5.3 insertion rule is implemented by :meth:`ControlStream.append_spliced`:
 a completed task's record attaches at its logical path's tip (tracked by the
 activity manager from the invocation cursor); if a rework grew branches below
 the tip in the meantime, the record is spliced in before them.
+
+Cache-consistency contract (see docs/ARCHITECTURE.md): every mutator bumps
+:attr:`ControlStream.epoch`; mutators that can change the thread state of a
+*surviving* point additionally bump :attr:`ControlStream.scope_epoch` and
+repair or drop the per-node ``cached_scope`` entries they touched, so scope
+caches keyed by ``scope_epoch`` never serve stale data.
 """
 
 from __future__ import annotations
@@ -46,6 +52,38 @@ class ControlStream:
         root = RecordNode(number=INITIAL_POINT, record=None)
         self._nodes: dict[int, RecordNode] = {INITIAL_POINT: root}
         self._next = 1
+        self._epoch = 0
+        self._scope_epoch = 0
+
+    # --------------------------------------------------------------- epochs
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic counter of structural mutations of any kind."""
+        return self._epoch
+
+    @property
+    def scope_epoch(self) -> int:
+        """Monotonic counter of mutations that may change the thread state
+        of an *existing* point (splices, removals, region replacement).
+
+        Purely additive mutations (``append``, ``add_junction``, ``graft``)
+        leave it unchanged: they create new points but never alter what any
+        surviving point can see, so scope caches keyed on this epoch stay
+        valid across them.
+        """
+        return self._scope_epoch
+
+    def _bump(self, states_changed: bool = False) -> None:
+        self._epoch += 1
+        if states_changed:
+            self._scope_epoch += 1
+
+    def _drop_cached_scopes(self, points) -> None:
+        for point in points:
+            node = self._nodes.get(point)
+            if node is not None:
+                node.cached_scope = None
 
     # ------------------------------------------------------------- accessors
 
@@ -134,6 +172,7 @@ class ControlStream:
         node = self._new_node(record)
         node.parents.append(parent.number)
         parent.children.append(node.number)
+        self._bump()
         return node.number
 
     def append_spliced(self, record: HistoryRecord, at_point: int) -> int:
@@ -165,6 +204,10 @@ class ControlStream:
             downstream = self.node(point)
             if downstream.cached_scope is not None:
                 downstream.cached_scope = downstream.cached_scope | added
+        # Downstream thread states gained the spliced record's objects: the
+        # per-node caches were patched additively above, but epoch-keyed
+        # full-result caches must recompute.
+        self._bump(states_changed=True)
         return node.number
 
     def add_junction(self, parents: list[int]) -> int:
@@ -176,6 +219,7 @@ class ControlStream:
             parent = self.node(parent_number)
             node.parents.append(parent.number)
             parent.children.append(node.number)
+        self._bump()
         return node.number
 
     def remove_points(self, points: set[int]) -> list[HistoryRecord]:
@@ -198,6 +242,9 @@ class ControlStream:
                 if parent_number in self._nodes:
                     parent = self._nodes[parent_number]
                     parent.children = [c for c in parent.children if c != point]
+        # Surviving per-node caches stay valid (no survivor descends from a
+        # removed node), but result caches may hold the removed points.
+        self._bump(states_changed=True)
         return removed
 
     def erase_subtree(self, point: int) -> list[HistoryRecord]:
@@ -240,6 +287,7 @@ class ControlStream:
                     mapped = at_point
                 dst.parents.append(mapped)
                 self.node(mapped).children.append(dst.number)
+        self._bump()
         return mapping
 
     def copy(self) -> tuple["ControlStream", dict[int, int]]:
@@ -285,6 +333,11 @@ class ControlStream:
             )
         if node.record is None:
             raise ThreadError(f"point {point} is a junction, not a record")
+        # The spliced-out record's objects vanish from every downstream
+        # thread state, so the forward closure's cached scopes are stale.
+        # Subtract-patching is unsafe (another record in the closure may
+        # contribute the same name), so drop them outright.
+        affected = self.descendants(point)
         parent = self.node(node.parents[0])
         parent.children = [c for c in parent.children if c != point]
         for child_number in node.children:
@@ -294,6 +347,8 @@ class ControlStream:
             ]
             parent.children.append(child_number)
         del self._nodes[point]
+        self._drop_cached_scopes(affected)
+        self._bump(states_changed=True)
         return node.record
 
     def replace_region(
@@ -330,4 +385,8 @@ class ControlStream:
             summary_node.children.append(child_number)
         for point in points:
             del self._nodes[point]
+        # Boundary children and everything below them now see the summary's
+        # (reduced) output set instead of the replaced records' objects.
+        self._drop_cached_scopes(self.descendants(summary_node.number))
+        self._bump(states_changed=True)
         return summary_node.number

@@ -63,6 +63,9 @@ class SynchronizationDataSpace:
         self.clock = clock or GLOBAL_CLOCK
         self._threads: dict[int, "DesignThread"] = {}
         self._objects: set[str] = set()            # versioned names
+        #: Incremental base-name index: contribute() appends one entry
+        #: instead of re-parsing the whole object set per version lookup.
+        self._by_base: dict[str, list[ObjectName]] = {}
         self._flags: dict[str, list[_Flag]] = {}   # base name → flags
         self.notifications_sent = 0
         self.notifications_suppressed = 0
@@ -95,11 +98,18 @@ class SynchronizationDataSpace:
 
     def versions_of(self, base: str) -> list[ObjectName]:
         """Versions of a base name present in this SDS, oldest first."""
-        names = [parse_name(n) for n in self._objects]
-        return sorted(
-            (n for n in names if n.base == base),
-            key=lambda n: n.version or 0,
-        )
+        return list(self._by_base.get(base, ()))
+
+    def _index_add(self, oname: ObjectName) -> None:
+        text = str(oname)
+        if text in self._objects:
+            return
+        self._objects.add(text)
+        bucket = self._by_base.setdefault(oname.base, [])
+        bucket.append(oname)
+        # Explicit None comparison: version 0 sorts as a real (lowest)
+        # version, after any unversioned entry.
+        bucket.sort(key=lambda n: (-1 if n.version is None else n.version))
 
     # ------------------------------------------------------------------ moves
 
@@ -112,7 +122,7 @@ class SynchronizationDataSpace:
         self._require_registered(thread, "contribute")
         resolved = thread.resolve(name)
         previous = self.versions_of(resolved.base)
-        self._objects.add(str(resolved))
+        self._index_add(resolved)
         METRICS.counter("sds.moves", direction="contribute").inc()
         if TRACER.enabled:
             TRACER.event("sds.move", cat="sds", direction="contribute",
@@ -171,7 +181,13 @@ class SynchronizationDataSpace:
         for flag in flags:
             if flag.thread.thread_id in delivered:
                 continue
-            if not all(pred(new_obj, prev_obj) for pred in flag.predicates):
+            matched = True
+            for pred in flag.predicates:
+                METRICS.counter("sds.predicate_evals").inc()
+                if not pred(new_obj, prev_obj):
+                    matched = False
+                    break
+            if not matched:
                 self.notifications_suppressed += 1
                 METRICS.counter("sds.notifications_suppressed").inc()
                 continue

@@ -109,6 +109,15 @@ class DesignThread:
         if point not in self.stream:
             raise ThreadError(f"no design point {point} in thread {self.name!r}")
         old_cursor = self.current_cursor
+        erasing = erase and old_cursor != point
+        # Validate the erase precondition BEFORE touching any state: a
+        # failed erase must leave the cursor (and access times, metrics,
+        # trace) exactly where they were.
+        if erasing and not self.stream.is_ancestor(point, old_cursor):
+            raise ThreadError(
+                "erase-on-rework requires the target point to be an ancestor "
+                f"of the current cursor ({point} is not above {old_cursor})"
+            )
         self.current_cursor = point
         self.point_access[point] = self.clock.now
         METRICS.counter("thread.cursor_moves").inc()
@@ -116,13 +125,8 @@ class DesignThread:
             TRACER.event("thread.cursor_move", cat="thread",
                          thread=self.name, src=old_cursor, dst=point,
                          erase=erase)
-        if not erase or old_cursor == point:
+        if not erasing:
             return
-        if not self.stream.is_ancestor(point, old_cursor):
-            raise ThreadError(
-                "erase-on-rework requires the target point to be an ancestor "
-                f"of the current cursor ({point} is not above {old_cursor})"
-            )
         on_path = set(self.stream.ancestors(old_cursor))
         doomed: set[int] = set()
         for child in self.stream.node(point).children:
@@ -130,7 +134,7 @@ class DesignThread:
                 doomed.add(child)
                 doomed.update(self.stream.descendants(child))
         removed = self.stream.remove_points(doomed)
-        self.scope.invalidate()
+        self.prune_point_access()
         METRICS.counter("thread.branches_erased").inc()
         if TRACER.enabled:
             TRACER.event("thread.erase", cat="thread", thread=self.name,
@@ -139,6 +143,17 @@ class DesignThread:
             for name in record.outputs + record.intermediates():
                 if self.db.exists(name) and not self.db.is_deleted(name):
                     self.db.delete(name)
+
+    def prune_point_access(self) -> None:
+        """Drop access times of points no longer in the stream.
+
+        Erase and reclamation paths remove design points; without pruning,
+        the dead-end-branch GC's input (``point_access``) grows unboundedly
+        with stale point ids.
+        """
+        stale = [p for p in self.point_access if p not in self.stream]
+        for p in stale:
+            del self.point_access[p]
 
     # ------------------------------------------------------------- visibility
 
@@ -163,15 +178,22 @@ class DesignThread:
         checked-in version.
         """
         oname = parse_name(name) if isinstance(name, str) else name
+        # Explicit None comparison: an extra checked in at version 0 (legal
+        # for externally numbered objects) is a real version, distinct from
+        # an unversioned entry (which names no version at all).
         extra_versions = sorted(
-            parse_name(text).version or 0
-            for text in self.extra_objects
-            if parse_name(text).base == oname.base
+            version
+            for version in (
+                parse_name(text).version
+                for text in self.extra_objects
+                if parse_name(text).base == oname.base
+            )
+            if version is not None
         )
         try:
             resolved = self.scope.resolve(self.current_cursor, oname)
             if oname.version is None and extra_versions:
-                return oname.at(max(resolved.version or 0, extra_versions[-1]))
+                return oname.at(max(resolved.version, extra_versions[-1]))
             return resolved
         except ObjectNotFound:
             if oname.version is None and extra_versions:

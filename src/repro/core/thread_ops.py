@@ -9,6 +9,7 @@ immutable history records are shared).
 from __future__ import annotations
 
 from repro.core.control_stream import INITIAL_POINT
+from repro.core.datascope import DataScope
 from repro.core.thread import DesignThread
 from repro.errors import ThreadError
 from repro.obs import METRICS, TRACER
@@ -78,7 +79,7 @@ def cascade(
     _require_frontier(lead, connector, "cascade")
     merged = DesignThread(name, db=lead.db, owner=lead.owner, clock=lead.clock)
     merged.stream, lead_map = lead.stream.copy()
-    merged.scope.stream = merged.stream
+    merged.scope = DataScope(merged.stream)
     trail_map = merged.stream.graft(
         trail.stream, lead_map.get(connector, connector), INITIAL_POINT
     )
@@ -114,7 +115,7 @@ def join(
     merged = DesignThread(name, db=first.db, owner=first.owner,
                           clock=first.clock)
     merged.stream, first_map = first.stream.copy()
-    merged.scope.stream = merged.stream
+    merged.scope = DataScope(merged.stream)
     second_map = merged.stream.graft(second.stream, INITIAL_POINT,
                                      INITIAL_POINT)
     merged.extra_objects = set(first.extra_objects) | set(second.extra_objects)

@@ -5,7 +5,8 @@ The activity manager accepts three name formats (thesis §5.2):
 1. a hierarchical path name, e.g. ``/user/chiueh/Multiplier`` — refers to an
    object outside the thread workspace that must be imported;
 2. a plain name with an explicit version, e.g. ``ALU.logic@1`` — bypasses the
-   default most-recent-version resolution;
+   default most-recent-version resolution (the database allocates versions
+   from 1; version 0 is legal only for externally numbered check-ins);
 3. a plain name, e.g. ``ALU.logic`` — resolved against the data scope.
 
 OCT additionally structures plain names as ``cell:view:facet``; we preserve
@@ -36,8 +37,10 @@ class ObjectName:
             raise ObjectNameError(
                 f"base name {self.base!r} must not contain {VERSION_SEP!r}"
             )
-        if self.version is not None and self.version < 1:
-            raise ObjectNameError(f"version numbers start at 1, got {self.version}")
+        if self.version is not None and self.version < 0:
+            raise ObjectNameError(
+                f"version numbers cannot be negative, got {self.version}"
+            )
 
     @property
     def is_path(self) -> bool:

@@ -42,9 +42,16 @@ class TestNaming:
             assert str(parse_name(text)) == text
 
     def test_bad_names(self):
-        for bad in ("", "  ", "@3", "a@x", "a@0", "a@-1"):
+        for bad in ("", "  ", "@3", "a@x", "a@-1"):
             with pytest.raises(ObjectNameError):
                 parse_name(bad)
+
+    def test_version_zero_is_explicit_not_unversioned(self):
+        # External check-ins may carry version 0; it is a real version.
+        name = parse_name("a@0")
+        assert name.version == 0
+        assert name.version is not None
+        assert str(name) == "a@0"
 
     def test_at_and_unversioned(self):
         name = parse_name("x")
