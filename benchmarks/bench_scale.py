@@ -165,7 +165,13 @@ def test_rework_ping_pong_cache(benchmark):
 
 if __name__ == "__main__":
     # CI cache-smoke entry point (no pytest needed): run the rework
-    # workload small and fail if the cache never hits.
+    # workload small and fail if the cache never hits.  With
+    # PAPYRUS_TRACE_OUT set this also exercises the streaming exporter end
+    # to end: events stream to the file as the generator runs, and the
+    # BENCH_*.json sidecar carries the analysis profile.
+    path = trace_out()
+    if path:
+        obs.enable_tracing(stream_to=path)
     result = measure_ping_pong(commits=60, moves=20)
     hits = obs.METRICS.value("datascope.cache_hits")
     print(f"ping-pong: {result['cached_visits']} cached vs "
@@ -175,3 +181,5 @@ if __name__ == "__main__":
     assert hits > 0, "datascope.cache_hits stayed zero — cache regression"
     assert result["visit_ratio"] >= 10, result
     print("cache smoke OK")
+    if path:
+        export_observability("scale_smoke", {"rows": result})

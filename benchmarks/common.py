@@ -38,22 +38,37 @@ def trace_out() -> str | None:
 
 def fresh_papyrus(hosts: int = 4, **kwargs) -> Papyrus:
     papyrus = Papyrus.standard(hosts=hosts, **kwargs)
-    if trace_out():
-        obs.enable_tracing(papyrus.clock, observe_clock=True)
+    path = trace_out()
+    if path:
+        # Stream events to disk as they happen: long benchmark runs stay
+        # complete on file even if the in-memory buffer hits capacity.
+        obs.enable_tracing(papyrus.clock, observe_clock=True, stream_to=path)
     return papyrus
 
 
 def export_observability(bench_name: str, extra: dict | None = None) -> Path | None:
-    """Write the buffered trace to ``--trace-out`` and a ``BENCH_*.json``
-    metrics snapshot next to it.  A no-op when tracing is not requested."""
+    """Write the trace to ``--trace-out`` and a ``BENCH_*.json`` snapshot
+    next to it: metrics, plus a profile summary (critical-path shape,
+    per-host utilization, overhead fraction) computed by
+    ``repro.obs.analysis`` — so each benchmark's perf trajectory is
+    self-explaining.  A no-op when tracing is not requested."""
     path = trace_out()
     if not path:
         return None
-    obs.TRACER.export_jsonl(path)
+    from repro.obs.analysis import TraceModel, profile_summary
+
+    if obs.TRACER.stream_path == path:
+        # Streaming wrote the file already; just flush and count.
+        events_written = obs.TRACER.streamed
+        obs.TRACER.close_stream()
+    else:
+        events_written = obs.TRACER.export_jsonl(path)
     payload = {
         "bench": bench_name,
         "metrics": obs.metrics_snapshot(),
-        "trace": {"path": path, "events": len(obs.TRACER.events),
+        "profile": profile_summary(TraceModel.from_tracer(obs.TRACER)),
+        "trace": {"path": path, "events": events_written,
+                  "buffered": len(obs.TRACER.events),
                   "dropped": obs.TRACER.dropped},
     }
     if extra:

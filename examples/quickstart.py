@@ -24,7 +24,10 @@ def main() -> None:
     papyrus = Papyrus.standard(hosts=4)
     trace_path = os.environ.get("PAPYRUS_TRACE_OUT")
     if trace_path:
-        obs.enable_tracing(papyrus.clock, observe_clock=True)
+        # Stream the JSONL record live: the file is complete even if the
+        # in-memory buffer overflows on a long run.
+        obs.enable_tracing(papyrus.clock, observe_clock=True,
+                           stream_to=trace_path)
     designer = papyrus.open_thread("adder-work", owner="you")
 
     print("Available task templates:")
@@ -65,13 +68,24 @@ def main() -> None:
         print(f"  {name}")
 
     if trace_path:
-        count = obs.TRACER.export_jsonl(trace_path)
-        print(f"\nWrote {count} trace events to {trace_path}")
+        count = obs.TRACER.streamed
+        obs.TRACER.close_stream()
+        print(f"\nStreamed {count} trace events to {trace_path}")
         chrome_path = os.environ.get("PAPYRUS_TRACE_CHROME")
         if chrome_path:
             obs.TRACER.export_chrome(chrome_path)
             print(f"Wrote Chrome trace to {chrome_path} "
                   "(open in Perfetto / chrome://tracing)")
+        from repro.obs.analysis import (TraceModel, render_gantt,
+                                        render_report, utilization)
+
+        model = TraceModel.from_tracer(obs.TRACER)
+        print()
+        for line in render_report(model):
+            print(line)
+        print()
+        for line in render_gantt(utilization(model), width=60):
+            print(line)
         snapshot = papyrus.taskmgr.cluster.stats.registry.snapshot()
         snapshot.update(obs.metrics_snapshot())
         print("Metrics snapshot:")

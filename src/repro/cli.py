@@ -141,6 +141,10 @@ class Shell:
             "notebook": "generate the design notebook from the history",
             "reclaim [grace-seconds]": "run the storage reclaimer",
             "trace on|off|status|export <path> [chrome]": "control tracing",
+            "trace stream <path>": "stream events to a JSONL file live",
+            "trace report [path]": "critical path + utilization report",
+            "trace timeline [path] [width]": "per-host Gantt timeline",
+            "trace diff <a.jsonl> <b.jsonl>": "compare two runs' span trees",
             "stats": "print the metrics registry snapshot",
             "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
@@ -273,7 +277,9 @@ class Shell:
         )
 
     def _cmd_trace(self, args: list[str]) -> None:
-        usage = "usage: trace on|off|status|clear | trace export <path> [chrome]"
+        usage = ("usage: trace on|off|status|clear | trace export <path> "
+                 "[chrome] | trace stream <path> | trace report [path] | "
+                 "trace timeline [path] [width] | trace diff <a> <b>")
         if not args:
             raise ShellError(usage)
         action = args[0]
@@ -288,11 +294,19 @@ class Shell:
             self._print("trace buffer cleared")
         elif action == "status":
             state = "on" if obs.TRACER.enabled else "off"
+            streaming = (f", streaming to {obs.TRACER.stream_path}"
+                         if obs.TRACER.stream_path else "")
             self._print(
                 f"tracing {state}: {len(obs.TRACER.events)} buffered events"
                 + (f", {obs.TRACER.dropped} dropped" if obs.TRACER.dropped
-                   else "")
+                   else "") + streaming
             )
+        elif action == "stream":
+            if len(args) != 2:
+                raise ShellError(usage)
+            obs.enable_tracing(self.papyrus.clock, observe_clock=True,
+                               stream_to=args[1])
+            self._print(f"tracing enabled, streaming JSONL to {args[1]}")
         elif action == "export":
             if len(args) < 2:
                 raise ShellError(usage)
@@ -305,8 +319,49 @@ class Shell:
             else:
                 count = obs.TRACER.export_jsonl(path)
                 self._print(f"wrote {count} JSONL events to {path}")
+        elif action in ("report", "timeline", "diff"):
+            self._trace_analysis(action, args[1:], usage)
         else:
             raise ShellError(usage)
+
+    def _trace_analysis(self, action: str, args: list[str],
+                        usage: str) -> None:
+        """The analytics subcommands: critical-path report, per-host
+        timeline, and run-to-run diff (``repro.obs.analysis``)."""
+        from repro.obs import analysis
+
+        def load(path: str) -> "analysis.TraceModel":
+            try:
+                return analysis.TraceModel.from_jsonl(path)
+            except OSError as exc:
+                raise ShellError(f"cannot read trace {path!r}: {exc}")
+            except (ValueError, KeyError) as exc:
+                raise ShellError(f"malformed trace {path!r}: {exc}")
+
+        if action == "diff":
+            if len(args) != 2:
+                raise ShellError("usage: trace diff <a.jsonl> <b.jsonl>")
+            lines = analysis.render_diff(load(args[0]), load(args[1]))
+            for line in lines:
+                self._print(line)
+            return
+        path = args[0] if args and not args[0].isdigit() else None
+        if path is not None:
+            model = load(path)
+        else:
+            if not obs.TRACER.events:
+                self._print("no trace events buffered (is tracing on?)")
+                return
+            model = analysis.TraceModel.from_tracer(obs.TRACER)
+        if action == "report":
+            for line in analysis.render_report(model):
+                self._print(line)
+        else:
+            width = int(args[-1]) if args and args[-1].isdigit() else 64
+            lines = analysis.render_gantt(analysis.utilization(model),
+                                          width=width)
+            for line in lines:
+                self._print(line)
 
     def _cmd_stats(self, args: list[str]) -> None:
         cluster = self.papyrus.taskmgr.cluster

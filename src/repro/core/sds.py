@@ -171,9 +171,14 @@ class SynchronizationDataSpace:
 
     # ----------------------------------------------------------- notification
 
+    #: Fan-out bucket boundaries: notification counts, not durations.
+    FANOUT_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, float("inf"))
+
     def _notify(self, new_name: ObjectName, prev_name: ObjectName | None) -> None:
         flags = self._flags.get(new_name.base, ())
         if not flags:
+            METRICS.histogram("sds.notify_fanout",
+                              buckets=self.FANOUT_BUCKETS).observe(0)
             return
         new_obj = self.db.get(new_name)
         prev_obj = self.db.get(prev_name) if prev_name is not None else None
@@ -210,6 +215,8 @@ class SynchronizationDataSpace:
                              thread=flag.thread.name,
                              object=str(new_name),
                              propagated=flag.propagate)
+        METRICS.histogram("sds.notify_fanout",
+                          buckets=self.FANOUT_BUCKETS).observe(len(delivered))
 
 
 # ---------------------------------------------------------------- predicates

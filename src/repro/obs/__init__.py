@@ -52,6 +52,10 @@ __all__ = [
     "read_jsonl",
 ]
 
+# repro.obs.analysis (span-tree model, critical path, utilization, diff) is
+# imported lazily by its consumers — it depends only on the tracer's event
+# record, and keeping it out of the package root keeps `import repro` lean.
+
 #: The process-wide tracer every subsystem reports to.
 TRACER = Tracer()
 
@@ -61,15 +65,20 @@ METRICS = MetricsRegistry()
 
 
 def enable_tracing(clock: VirtualClock | None = None,
-                   observe_clock: bool = False) -> Tracer:
+                   observe_clock: bool = False,
+                   stream_to: str | None = None) -> Tracer:
     """Turn the global tracer on, timestamped by ``clock``.
 
     ``observe_clock=True`` additionally emits a ``clock.advance`` event each
-    time the clock moves (verbose; off by default).
+    time the clock moves (verbose; off by default).  ``stream_to=PATH``
+    appends every event to PATH as it is emitted, so long runs stay complete
+    on disk even if the in-memory buffer hits ``capacity``.
     """
     TRACER.enable(clock=clock)
     if observe_clock and clock is not None:
         TRACER.observe_clock(clock)
+    if stream_to is not None:
+        TRACER.stream_to(stream_to)
     return TRACER
 
 

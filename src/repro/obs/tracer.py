@@ -111,6 +111,10 @@ class Tracer:
         self._ids = itertools.count(1)
         self._seq = itertools.count(1)
         self._watched_clocks: list[VirtualClock] = []
+        #: Streaming JSONL sink (see :meth:`stream_to`).
+        self._stream: IO[str] | None = None
+        self._stream_path: str | None = None
+        self.streamed = 0
 
     # ------------------------------------------------------------- lifecycle
 
@@ -124,12 +128,17 @@ class Tracer:
         self.enabled = False
 
     def clear(self) -> None:
-        """Drop buffered events and reset IDs (a fresh, deterministic run)."""
+        """Drop buffered events and reset IDs (a fresh, deterministic run).
+
+        While a stream is open, span/sequence counters keep running so the
+        streamed file never repeats a span id (the schema forbids it).
+        """
         self.events.clear()
         self.dropped = 0
         self._stack.clear()
-        self._ids = itertools.count(1)
-        self._seq = itertools.count(1)
+        if self._stream is None:
+            self._ids = itertools.count(1)
+            self._seq = itertools.count(1)
 
     def observe_clock(self, clock: VirtualClock) -> None:
         """Emit a ``clock.advance`` event every time ``clock`` moves."""
@@ -147,9 +156,49 @@ class Tracer:
     def now(self) -> float:
         return self._clock.now if self._clock is not None else 0.0
 
+    # ------------------------------------------------------------- streaming
+
+    def stream_to(self, target: str | IO[str]) -> None:
+        """Append every event to ``target`` as it is emitted.
+
+        Long scenario runs can overflow the in-memory buffer (``capacity``)
+        and silently drop the tail; a stream makes the on-disk record
+        complete regardless — the buffer keeps (up to ``capacity``) events
+        for in-process analysis, but the file is the source of truth.
+        Re-pointing at the same path is a no-op, so benchmark loops can call
+        this once per measurement without truncating their own output.
+        """
+        if isinstance(target, str):
+            if self._stream is not None and self._stream_path == target:
+                return
+            self.close_stream()
+            self._stream = open(target, "w", encoding="utf-8")
+            self._stream_path = target
+        else:
+            self.close_stream()
+            self._stream = target
+            self._stream_path = None
+
+    def close_stream(self) -> None:
+        """Flush and detach the streaming sink (closing owned files)."""
+        if self._stream is not None:
+            self._stream.flush()
+            if self._stream_path is not None:
+                self._stream.close()
+        self._stream = None
+        self._stream_path = None
+
+    @property
+    def stream_path(self) -> str | None:
+        """The file path currently streamed to (None for file objects)."""
+        return self._stream_path
+
     # -------------------------------------------------------------- emission
 
     def _append(self, record: dict[str, Any]) -> None:
+        if self._stream is not None:
+            self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+            self.streamed += 1
         if len(self.events) >= self.capacity:
             self.dropped += 1
             return
@@ -275,16 +324,31 @@ class Tracer:
         """Write Chrome ``trace_event`` JSON loadable in Perfetto.
 
         Virtual seconds become microseconds; spans map to complete ("X")
-        events and point events to instants ("i").
+        events and point events to instants ("i").  Events carrying a
+        ``host`` arg (cluster placements, step spans) render on one named
+        track per workstation, so a migration or eviction shows up as a hop
+        between tracks; everything else lands on the ``engine`` track.
         """
+        events = self.sorted_events()
+        hosts = sorted({
+            e["args"]["host"] for e in events
+            if isinstance(e.get("args"), dict) and "host" in e["args"]
+        })
+        tid_of = {host: tid for tid, host in enumerate(hosts, start=2)}
         trace_events: list[dict[str, Any]] = []
-        for event in self.sorted_events():
+        for tid, name in [(1, "engine")] + [
+                (tid_of[h], f"host:{h}") for h in hosts]:
+            trace_events.append({
+                "ph": "M", "name": "thread_name", "ts": 0,
+                "pid": 1, "tid": tid, "args": {"name": name},
+            })
+        for event in events:
             base = {
                 "name": event["name"],
                 "cat": event["cat"],
                 "ts": event["ts"] * 1e6,
                 "pid": 1,
-                "tid": 1,
+                "tid": tid_of.get(event["args"].get("host"), 1),
                 "args": event["args"],
             }
             if event["kind"] == "span":

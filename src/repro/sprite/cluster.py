@@ -221,7 +221,7 @@ class Cluster:
             self.stats.inc("ran_at_home")
         if TRACER.enabled:
             TRACER.event("cluster.submit", cat="cluster", pid=proc.pid,
-                         label=label, host=target.name, migrated=migrated,
+                         step=label, host=target.name, migrated=migrated,
                          work=proc.work)
         return proc
 
@@ -236,7 +236,7 @@ class Cluster:
         self.stats.inc("killed")
         if TRACER.enabled:
             TRACER.event("cluster.kill", cat="cluster", pid=proc.pid,
-                         label=proc.label, host=proc.host)
+                         step=proc.label, host=proc.host)
 
     def running(self) -> list[SimProcess]:
         return sorted(self._procs.values(), key=lambda p: p.pid)
@@ -292,7 +292,7 @@ class Cluster:
                 self.stats.inc("evictions")
                 if TRACER.enabled:
                     TRACER.event("cluster.evict", cat="cluster", pid=pid,
-                                 label=proc.label, host=host.name,
+                                 step=proc.label, host=host.name,
                                  to=proc.home)
 
     def remigrate(self) -> int:
@@ -310,6 +310,7 @@ class Cluster:
             idle = self.find_idle_host()
             if idle is None:
                 break
+            source = proc.host
             self.hosts[proc.host].resident.discard(proc.pid)
             idle.resident.add(proc.pid)
             proc.host = idle.name
@@ -318,7 +319,7 @@ class Cluster:
             self.stats.inc("remigrations")
             if TRACER.enabled:
                 TRACER.event("cluster.remigrate", cat="cluster", pid=proc.pid,
-                             label=proc.label, to=idle.name)
+                             step=proc.label, host=source, to=idle.name)
         return moved
 
     def step(self) -> list[SimProcess]:
@@ -361,7 +362,7 @@ class Cluster:
         if TRACER.enabled:
             for finished in done:
                 TRACER.event("cluster.complete", cat="cluster",
-                             pid=finished.pid, label=finished.label,
+                             pid=finished.pid, step=finished.label,
                              host=finished.host,
                              elapsed=self.clock.now - finished.started_at)
         if self.remigration:

@@ -426,7 +426,7 @@ class TaskExecution:
         if TRACER.enabled:
             TRACER.event("step.dispatch", cat="step", step=pending.label,
                          tool=tool_name, host=pending.proc.host,
-                         instance=self.instance)
+                         pid=pending.proc.pid, instance=self.instance)
 
     # ------------------------------------------------------------ completion
 
@@ -493,17 +493,20 @@ class TaskExecution:
         self.completed.append(pending)
         METRICS.counter("engine.steps_completed").inc()
         METRICS.histogram("engine.step_seconds").observe(finished - started)
+        METRICS.histogram("step.latency", tool=call.tool).observe(
+            finished - started)
         if not result.ok:
             METRICS.counter("engine.steps_failed").inc()
         if TRACER.enabled:
             TRACER.complete_span(
                 f"step:{pending.spec.name}", "step", started, finished,
-                tool=call.tool, host=proc.host, status=result.status,
-                step=pending.label, instance=self.instance,
+                tool=call.tool, host=proc.host, pid=proc.pid,
+                status=result.status, step=pending.label,
+                instance=self.instance,
             )
             TRACER.event("step.complete", cat="step", step=pending.label,
                          status=result.status, host=proc.host,
-                         instance=self.instance)
+                         pid=proc.pid, instance=self.instance)
         self.interp.set_var("status", str(result.status))
         if not result.ok:
             self._handle_failure(pending)

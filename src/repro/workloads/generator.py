@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import Papyrus
+from repro import Papyrus, obs
 from repro.activity.manager import ActivityManager
 from repro.cad.logic import BehavioralSpec
 
@@ -58,6 +58,10 @@ def generate_project(
     reworks, deterministically from ``seed``."""
     rand = _Rand(seed)
     papyrus = Papyrus.standard(hosts=hosts, seed=False)
+    if obs.TRACER.enabled:
+        # Re-point an already-enabled tracer at this installation's clock so
+        # the generated run's spans carry its virtual timestamps.
+        obs.TRACER.enable(clock=papyrus.clock)
     db = papyrus.db
     for kind in KINDS:
         db.put(f"{kind}.spec", BehavioralSpec(kind, kind, 3 + rand.below(2)))
