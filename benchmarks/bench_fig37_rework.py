@@ -6,11 +6,19 @@ Quantifies what the user did NOT have to do: the system maintained the
 alternative→objects mapping; a context switch (cursor move + name
 resolution) is a constant-time operation; erase-on-rework reclaims the
 losing branch's storage (Fig 3.6).
+
+The memoized-replay experiment quantifies the derivation cache on the same
+scenario: replaying the whole exploration unchanged after a rework skips
+every non-interactive CAD run and pays (nearly) zero simulated seconds.
 """
 
 from __future__ import annotations
 
-from benchmarks.common import banner, fresh_papyrus, table
+from repro import obs
+from repro.core.control_stream import INITIAL_POINT
+
+from benchmarks.common import (banner, export_observability, fresh_papyrus,
+                               table, trace_out)
 
 
 def explore():
@@ -73,3 +81,115 @@ def test_fig37_shifter_exploration(benchmark):
           f"abstract bytes ({live_before - live_after} reclaimed)")
     assert live_after < live_before
     assert len(thread.stream.frontier()) == 1
+
+
+# ------------------------------------------------------------ memoized replay
+
+
+def _shifter_flow(designer) -> list[int]:
+    """The full Fig 3.7 exploration as one straight replayable flow."""
+    points = []
+    points.append(designer.invoke("Create_Logic_Description",
+                                  {"Spec": "shifter.spec"},
+                                  {"Outcell": "sh.logic"}))
+    points.append(designer.invoke("Logic_Simulator",
+                                  {"Incell": "sh.logic",
+                                   "Command": "musa.cmd"},
+                                  {"Report": "sh.sim"}))
+    points.append(designer.invoke("Standard_Cell_PR", {"Incell": "sh.logic"},
+                                  {"Outcell": "sh.sc"}))
+    points.append(designer.invoke("Padp", {"Incell": "sh.sc"},
+                                  {"Outcell": "sh.sc.pad"}))
+    points.append(designer.invoke("PLA_Generation", {"Incell": "sh.logic"},
+                                  {"Outcell": "sh.pla"}))
+    points.append(designer.invoke("Padp", {"Incell": "sh.pla"},
+                                  {"Outcell": "sh.pla.pad"}))
+    return points
+
+
+def measure_memoized_replay() -> dict:
+    """Run the exploration cold, rework to the start, replay it unchanged.
+
+    The derivation cache satisfies every non-interactive step from history
+    (the ``edit`` entry step is user-in-the-loop and always re-runs), so the
+    replay's simulated makespan collapses to the interactive residue.
+    """
+    papyrus = fresh_papyrus(hosts=4)
+    designer = papyrus.open_thread("Shifter-replay", owner="chiueh")
+    hits_before = obs.METRICS.counter("memo.hits").value
+
+    start = papyrus.clock.now
+    cold_points = _shifter_flow(designer)
+    cold_makespan = papyrus.clock.now - start
+
+    designer.move_cursor(INITIAL_POINT)
+    start = papyrus.clock.now
+    warm_points = _shifter_flow(designer)
+    warm_makespan = papyrus.clock.now - start
+
+    stream = designer.thread.stream
+    cold_steps = [s for p in cold_points for s in stream.record(p).steps]
+    warm_steps = [s for p in warm_points for s in stream.record(p).steps]
+    reused = sum(1 for s in warm_steps if s.reused)
+    return {
+        "steps": len(warm_steps),
+        "reused_steps": reused,
+        "reused_fraction": reused / len(warm_steps),
+        "cold_makespan_seconds": cold_makespan,
+        "warm_makespan_seconds": warm_makespan,
+        "speedup": cold_makespan / max(warm_makespan, 1e-9),
+        "memo_hits": obs.METRICS.counter("memo.hits").value - hits_before,
+        "memo_saved_seconds":
+            obs.METRICS.counter("memo.saved_seconds").value,
+        "cold_steps": len(cold_steps),
+    }
+
+
+def check_memoized_replay(result: dict) -> None:
+    """The acceptance gate: an unchanged replay must reuse >=80% of its
+    steps and cost materially fewer simulated seconds than the cold run."""
+    assert result["memo_hits"] > 0, "memo.hits stayed zero — cache regression"
+    assert result["reused_fraction"] >= 0.8, (
+        f"only {result['reused_fraction']:.0%} of replayed steps reused"
+    )
+    assert result["warm_makespan_seconds"] < \
+        0.5 * result["cold_makespan_seconds"], (
+        f"replay makespan {result['warm_makespan_seconds']:.1f}s not "
+        f"materially below cold {result['cold_makespan_seconds']:.1f}s"
+    )
+
+
+def test_fig37_memoized_replay(benchmark):
+    result = benchmark.pedantic(measure_memoized_replay,
+                                rounds=1, iterations=1)
+    banner("Fig 3.7 + derivation cache — unchanged replay after rework")
+    table(
+        ["run", "steps", "reused", "simulated makespan"],
+        [["cold", result["cold_steps"], 0,
+          f"{result['cold_makespan_seconds']:.1f}s"],
+         ["replay", result["steps"], result["reused_steps"],
+          f"{result['warm_makespan_seconds']:.1f}s"]],
+    )
+    print(f"\n  {result['reused_fraction']:.0%} of steps reused, "
+          f"{result['memo_saved_seconds']:.1f} simulated seconds avoided, "
+          f"{result['speedup']:.1f}x faster replay")
+    check_memoized_replay(result)
+    export_observability("fig37_rework_memo", {"rework": result})
+
+
+if __name__ == "__main__":
+    # CI memo-smoke entry point (no pytest needed): replay the shifter
+    # exploration and fail if the derivation cache never hits or the replay
+    # is not materially cheaper.  With PAPYRUS_TRACE_OUT set the trace and
+    # a BENCH_fig37_rework_memo.json sidecar (carrying the reuse stats)
+    # are written next to it.
+    path = trace_out()
+    result = measure_memoized_replay()
+    print(f"replay: {result['reused_steps']}/{result['steps']} steps reused "
+          f"({result['reused_fraction']:.0%}), makespan "
+          f"{result['cold_makespan_seconds']:.1f}s -> "
+          f"{result['warm_makespan_seconds']:.1f}s, "
+          f"memo.hits={result['memo_hits']:.0f}")
+    check_memoized_replay(result)
+    if path:
+        export_observability("fig37_rework_memo", {"rework": result})

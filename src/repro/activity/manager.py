@@ -116,7 +116,8 @@ class ActivityManager:
         if pending.completed:
             raise TaskAborted(pending.task, reason="invocation already completed")
         record = self.taskmgr.run_task(
-            pending.task, inputs=pending.inputs, outputs=pending.outputs
+            pending.task, inputs=pending.inputs, outputs=pending.outputs,
+            memo=self.thread.memo,
         )
         pending.completed = True
         self._pending.remove(pending)

@@ -15,6 +15,7 @@ from typing import Any
 
 from repro.core.control_stream import INITIAL_POINT, ControlStream
 from repro.core.history import HistoryRecord, StepRecord
+from repro.core.memo import DerivationCache
 from repro.core.lwt import LWTSystem
 from repro.core.thread import DesignThread
 from repro.errors import ThreadError
@@ -38,6 +39,7 @@ def record_to_dict(record: HistoryRecord) -> dict:
                 "inputs": list(s.inputs), "outputs": list(s.outputs),
                 "host": s.host, "started_at": s.started_at,
                 "completed_at": s.completed_at, "status": s.status,
+                "reused": s.reused,
             }
             for s in record.steps
         ],
@@ -59,6 +61,7 @@ def record_from_dict(data: dict) -> HistoryRecord:
                 inputs=tuple(s["inputs"]), outputs=tuple(s["outputs"]),
                 host=s["host"], started_at=s["started_at"],
                 completed_at=s["completed_at"], status=s["status"],
+                reused=s.get("reused", False),
             )
             for s in data["steps"]
         ),
@@ -126,6 +129,12 @@ def thread_from_dict(data: dict, lwt: LWTSystem) -> DesignThread:
     thread = lwt.create_thread(data["name"], owner=data.get("owner", ""))
     thread.stream = stream_from_dict(data["stream"])
     thread.scope.stream = thread.stream
+    # Rebind and warm the derivation cache: the restored history is exactly
+    # the committed-step knowledge it feeds on, so a restored session reuses
+    # derivations from before the save.
+    thread.memo = DerivationCache(thread.stream)
+    for record in thread.stream.records():
+        thread.memo.populate(record, lwt.db)
     thread.current_cursor = data["current_cursor"]
     thread.extra_objects = set(data.get("extra_objects", ()))
     thread.point_access = {

@@ -145,6 +145,7 @@ class Shell:
             "trace report [path]": "critical path + utilization report",
             "trace timeline [path] [width]": "per-host Gantt timeline",
             "trace diff <a.jsonl> <b.jsonl>": "compare two runs' span trees",
+            "trace flame [path] [width]": "merge critical paths by step name",
             "stats": "print the metrics registry snapshot",
             "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
@@ -279,7 +280,8 @@ class Shell:
     def _cmd_trace(self, args: list[str]) -> None:
         usage = ("usage: trace on|off|status|clear | trace export <path> "
                  "[chrome] | trace stream <path> | trace report [path] | "
-                 "trace timeline [path] [width] | trace diff <a> <b>")
+                 "trace timeline [path] [width] | trace diff <a> <b> | "
+                 "trace flame [path] [width]")
         if not args:
             raise ShellError(usage)
         action = args[0]
@@ -319,7 +321,7 @@ class Shell:
             else:
                 count = obs.TRACER.export_jsonl(path)
                 self._print(f"wrote {count} JSONL events to {path}")
-        elif action in ("report", "timeline", "diff"):
+        elif action in ("report", "timeline", "diff", "flame"):
             self._trace_analysis(action, args[1:], usage)
         else:
             raise ShellError(usage)
@@ -355,6 +357,10 @@ class Shell:
             model = analysis.TraceModel.from_tracer(obs.TRACER)
         if action == "report":
             for line in analysis.render_report(model):
+                self._print(line)
+        elif action == "flame":
+            width = int(args[-1]) if args and args[-1].isdigit() else 40
+            for line in analysis.render_flame(model, width=width):
                 self._print(line)
         else:
             width = int(args[-1]) if args and args[-1].isdigit() else 64

@@ -269,11 +269,18 @@ class ControlStream:
         """
         mapping: dict[int, int] = {other_start: at_point}
         order = [other_start] + other.descendants(other_start)
+        # Grafting root-onto-root preserves every copied point's backward
+        # closure, so the source's per-node stride caches stay valid and can
+        # ride along (the copy/cascade/join "warm start").  Any other anchor
+        # changes what the grafted points can see — caches must not carry.
+        carry = at_point == INITIAL_POINT and other_start == INITIAL_POINT
         for point in order:
             if point == other_start:
                 continue
             src = other.node(point)
             node = self._new_node(src.record)
+            if carry:
+                node.cached_scope = src.cached_scope
             mapping[point] = node.number
         for point in order:
             if point == other_start:

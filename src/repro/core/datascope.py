@@ -104,6 +104,28 @@ class DataScope:
         self._state_cache.clear()
         self._vv_cache.clear()
 
+    def seed_from(self, other: "DataScope",
+                  mapping: dict[int, int]) -> None:
+        """Warm this scope's epoch-keyed caches from another scope.
+
+        ``mapping`` translates the other stream's point numbers to this
+        stream's (the result of :meth:`ControlStream.copy` or a root graft).
+        Only valid when the mapped points' thread states are preserved — the
+        caller guarantees that (cascade/join copy the lead stream verbatim).
+        Seeded values are plain state sets / version indexes, so no aliasing
+        hazard exists: both sides treat them as immutable.
+        """
+        self._sync()
+        other._sync()
+        for point, state in other._state_cache.items():
+            target = mapping.get(point)
+            if target is not None and target in self.stream:
+                self._remember(self._state_cache, target, state)
+        for point, index in other._vv_cache.items():
+            target = mapping.get(point)
+            if target is not None and target in self.stream:
+                self._remember(self._vv_cache, target, index)
+
     def _remember(self, cache: dict, key: int, value) -> None:
         if not self.result_cache_size:
             return

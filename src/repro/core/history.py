@@ -27,6 +27,9 @@ class StepRecord:
     started_at: float = 0.0
     completed_at: float = 0.0
     status: int = 0
+    #: True when the step was satisfied from the derivation cache instead of
+    #: executing (outputs bound/aliased to committed versions, zero cost).
+    reused: bool = False
 
     @property
     def elapsed(self) -> float:

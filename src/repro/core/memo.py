@@ -1,0 +1,271 @@
+"""The derivation cache: history-based step memoization (build avoidance).
+
+Papyrus records, for every committed task, the exact tool invocation and the
+input versions each step consumed (the step records and the augmented
+derivation graph).  That history is sufficient to *skip* re-executing a step
+whose tool, options and input contents are unchanged — the make/VOV insight
+applied to the rework loop: moving the cursor back and replaying a design
+path should not pay for CAD runs that would provably recompute identical
+payloads.
+
+Keys
+----
+An entry is keyed by ``(tool, canonical options, input fingerprints)``:
+
+* **canonical options** — the actual option tokens with input/output names
+  replaced by positional placeholders.  Intermediate objects get unique
+  per-instantiation base names (``name.t{instance}s{scope}``), so raw option
+  tokens would never match across instantiations; canonicalization makes the
+  key depend on the option *structure*, not the spelled names.
+* **input fingerprints** — content hashes of the resolved input payloads
+  (not version names).  Version numbers also differ across instantiations
+  (a re-derived intermediate is a fresh version with identical content), so
+  name-based fingerprints would break every chain after its first step;
+  content hashes let a hit on step N feed a hit on step N+1.
+
+Values carry the committed output versions (base + versioned name, in the
+step's output order) and the recorded cost, so a hit can alias the old
+payloads under fresh versions and report the simulated seconds it avoided.
+
+Consistency
+-----------
+The cache is scoped per design thread and shared along fork/cascade/join
+lineage through ``parents`` (reads consult parents, writes stay local).
+Invalidation rides the PR 2 epoch contract: every lookup lazily syncs
+against ``ControlStream.scope_epoch`` and drops entries whose source record
+has left the stream (erase-on-rework, branch pruning, horizontal aging).
+On top of that, each hit re-validates that the cached output versions are
+still fetchable in the database — a reclaimed version can never be served.
+
+Only *committed* steps seed the cache (population happens in the task
+manager's commit, from records whose task ran to completion): a step undone
+by a programmable abort, or any step of an aborted task, leaves no entry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields, is_dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs import METRICS, TRACER
+from repro.octdb.naming import parse_name
+
+if TYPE_CHECKING:
+    from repro.core.control_stream import ControlStream
+    from repro.core.history import HistoryRecord
+    from repro.metadata.adg import AugmentedDerivationGraph
+    from repro.octdb.database import DesignDatabase
+
+#: Placeholder prefix: cannot collide with user option tokens.
+_IN = "\x00in"
+_OUT = "\x00out"
+
+MemoKey = tuple[str, tuple[str, ...], tuple[str, ...]]
+
+
+def canonical_options(
+    options: tuple[str, ...],
+    input_names: tuple[str, ...],
+    output_bases: tuple[str, ...],
+) -> tuple[str, ...]:
+    """Replace input actuals / output bases in option tokens positionally."""
+    mapping: dict[str, str] = {}
+    for j, base in enumerate(output_bases):
+        mapping[base] = f"{_OUT}{j}"
+    for i, name in enumerate(input_names):
+        mapping[name] = f"{_IN}{i}"
+    return tuple(mapping.get(tok, tok) for tok in options)
+
+
+def _stable_hash(payload: Any, digest: "hashlib._Hash") -> None:
+    """Feed a stable, structure-aware serialization of ``payload``."""
+    if is_dataclass(payload) and not isinstance(payload, type):
+        digest.update(b"D" + type(payload).__name__.encode())
+        for f in fields(payload):
+            digest.update(f.name.encode())
+            _stable_hash(getattr(payload, f.name), digest)
+    elif isinstance(payload, dict):
+        digest.update(b"M")
+        for key in sorted(payload, key=repr):
+            _stable_hash(key, digest)
+            _stable_hash(payload[key], digest)
+    elif isinstance(payload, (list, tuple)):
+        digest.update(b"L")
+        for item in payload:
+            _stable_hash(item, digest)
+    elif isinstance(payload, (set, frozenset)):
+        digest.update(b"S")
+        for item in sorted(payload, key=repr):
+            _stable_hash(item, digest)
+    elif isinstance(payload, bytes):
+        digest.update(b"B" + payload)
+    else:
+        digest.update(repr(payload).encode())
+
+
+def fingerprint(payload: Any) -> str:
+    """Content hash of one input payload (stable across sessions for the
+    deterministic CAD payload dataclasses this repository uses)."""
+    digest = hashlib.sha1()
+    _stable_hash(payload, digest)
+    return digest.hexdigest()
+
+
+@dataclass
+class MemoEntry:
+    """One cached derivation: the committed outputs of one step."""
+
+    tool: str
+    #: ``(base, versioned name)`` per output, in the step's output order.
+    outputs: tuple[tuple[str, str], ...]
+    #: Recorded simulated cost of the original execution (seconds).
+    cost: float = 0.0
+    step: str = ""
+    #: ``HistoryRecord.instance`` of the committing record; None when the
+    #: entry was warmed from the ADG (no stream anchoring → db checks only).
+    record_instance: int | None = None
+
+
+class DerivationCache:
+    """Per-thread derivation memo with lineage sharing."""
+
+    def __init__(
+        self,
+        stream: "ControlStream | None" = None,
+        parents: tuple["DerivationCache", ...] = (),
+    ):
+        self.stream = stream
+        self.parents = parents
+        self._entries: dict[MemoKey, MemoEntry] = {}
+        self._seen_scope_epoch = stream.scope_epoch if stream else -1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ---------------------------------------------------------------- keying
+
+    def key_for(
+        self,
+        tool: str,
+        options: tuple[str, ...],
+        input_names: tuple[str, ...],
+        input_payloads: tuple[Any, ...],
+        output_bases: tuple[str, ...],
+    ) -> MemoKey | None:
+        """The memo key for one dispatch-ready call (None if unhashable)."""
+        try:
+            prints = tuple(fingerprint(p) for p in input_payloads)
+        except Exception:
+            return None
+        return (tool, canonical_options(options, input_names, output_bases),
+                prints)
+
+    # ---------------------------------------------------------------- lookup
+
+    def _sync(self) -> None:
+        """Drop entries whose source record left the stream (erase, pruning,
+        aging — every such mutation bumps ``scope_epoch``)."""
+        if self.stream is None or \
+                self.stream.scope_epoch == self._seen_scope_epoch:
+            return
+        self._seen_scope_epoch = self.stream.scope_epoch
+        live = {r.instance for r in self.stream.records()}
+        stale = [k for k, e in self._entries.items()
+                 if e.record_instance is not None
+                 and e.record_instance not in live]
+        for key in stale:
+            del self._entries[key]
+        if stale:
+            METRICS.counter("memo.invalidations").inc(len(stale))
+
+    def lookup(self, key: MemoKey, db: "DesignDatabase") -> MemoEntry | None:
+        """Find a valid entry for ``key`` (own store first, then lineage).
+
+        An entry only counts when every cached output version is still
+        fetchable; a stale local entry is dropped on the spot.
+        """
+        self._sync()
+        entry = self._entries.get(key)
+        if entry is not None:
+            if all(db.exists(name) for _, name in entry.outputs):
+                return entry
+            del self._entries[key]
+            METRICS.counter("memo.invalidations").inc()
+        for parent in self.parents:
+            found = parent.lookup(key, db)
+            if found is not None:
+                return found
+        return None
+
+    # ------------------------------------------------------------ population
+
+    def store(self, key: MemoKey, entry: MemoEntry) -> None:
+        self._sync()
+        self._entries[key] = entry
+
+    def populate(self, record: "HistoryRecord",
+                 db: "DesignDatabase") -> int:
+        """Seed the cache from one *committed* task's step records.
+
+        Called by the task manager at commit time; failed steps (non-zero
+        status) never seed, and aborted tasks never reach here at all.
+        Returns the number of entries added.
+        """
+        added = 0
+        for step in record.steps:
+            if step.status != 0 or not step.outputs:
+                continue
+            try:
+                payloads = tuple(db.get(name).payload for name in step.inputs)
+            except Exception:
+                continue                     # inputs reclaimed: not cacheable
+            output_bases = tuple(parse_name(n).base for n in step.outputs)
+            key = self.key_for(step.tool, step.options, step.inputs,
+                               payloads, output_bases)
+            if key is None:
+                continue
+            self.store(key, MemoEntry(
+                tool=step.tool,
+                outputs=tuple(zip(output_bases, step.outputs)),
+                cost=step.elapsed,
+                step=step.name,
+                record_instance=record.instance,
+            ))
+            added += 1
+        if added and TRACER.enabled:
+            TRACER.event("memo.populate", cat="memo", task=record.task,
+                         entries=added)
+        return added
+
+    def warm_from_adg(self, adg: "AugmentedDerivationGraph",
+                      db: "DesignDatabase") -> int:
+        """Seed the cache from an augmented derivation graph.
+
+        The ADG stores one edge per output; edges sharing (tool, options,
+        inputs, step, time) are regrouped into their originating step so
+        multi-output steps hit as a unit.  Entries carry no record anchor
+        (the ADG is thread-independent), so only database liveness gates
+        their reuse.
+        """
+        grouped: dict[tuple, list[str]] = {}
+        for edge in adg.edges():
+            ident = (edge.tool, edge.options, edge.inputs, edge.step, edge.at)
+            grouped.setdefault(ident, []).append(edge.output)
+        added = 0
+        for (tool, options, inputs, step, _at), outputs in grouped.items():
+            try:
+                payloads = tuple(db.get(name).payload for name in inputs)
+            except Exception:
+                continue
+            output_bases = tuple(parse_name(n).base for n in outputs)
+            key = self.key_for(tool, options, inputs, payloads, output_bases)
+            if key is None:
+                continue
+            self.store(key, MemoEntry(
+                tool=tool,
+                outputs=tuple(zip(output_bases, tuple(outputs))),
+                step=step,
+            ))
+            added += 1
+        return added

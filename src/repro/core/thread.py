@@ -16,6 +16,7 @@ from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.core.control_stream import INITIAL_POINT, ControlStream
 from repro.core.datascope import DataScope
 from repro.core.history import HistoryRecord
+from repro.core.memo import DerivationCache
 from repro.errors import ObjectNotFound, ThreadError
 from repro.obs import METRICS, TRACER
 from repro.octdb.database import DesignDatabase
@@ -44,10 +45,20 @@ class DesignThread:
         self.clock = clock or GLOBAL_CLOCK
         self.stream = ControlStream()
         self.scope = DataScope(self.stream)
+        #: Derivation cache (build avoidance): committed steps seed it, the
+        #: task execution engine consults it at dispatch.  Fork/cascade/join
+        #: chain caches along lineage; set to None to force re-execution.
+        self.memo: DerivationCache | None = DerivationCache(self.stream)
         self.current_cursor = INITIAL_POINT
         #: Objects checked in from outside (paths, SDS retrievals): visible
         #: from every design point of this thread.
         self.extra_objects: set[str] = set()
+        #: Lazily rebuilt index over ``extra_objects`` (base → versions),
+        #: keyed by the set's size: ``resolve`` used to re-parse every extra
+        #: on every call, which dominated lookups in forked threads that
+        #: inherit large workspaces.
+        self._extras_index: dict[str, list[int]] = {}
+        self._extras_index_size = -1
         #: Read-only imported threads (§3.3.4.2), name → live reference.
         self.imports: dict[str, "DesignThread"] = {}
         #: Change notifications delivered by synchronization data spaces.
@@ -139,8 +150,16 @@ class DesignThread:
         if TRACER.enabled:
             TRACER.event("thread.erase", cat="thread", thread=self.name,
                          points=len(removed))
+        # Reference-aware deletion: erasing a branch must never tombstone a
+        # version that a surviving record still claims as an output (records
+        # imported, grafted or spliced from elsewhere can share names).
+        surviving: set[str] = set()
+        for record in self.stream.records():
+            surviving.update(record.outputs)
         for record in removed:
             for name in record.outputs + record.intermediates():
+                if name in surviving:
+                    continue
                 if self.db.exists(name) and not self.db.is_deleted(name):
                     self.db.delete(name)
 
@@ -178,18 +197,7 @@ class DesignThread:
         checked-in version.
         """
         oname = parse_name(name) if isinstance(name, str) else name
-        # Explicit None comparison: an extra checked in at version 0 (legal
-        # for externally numbered objects) is a real version, distinct from
-        # an unversioned entry (which names no version at all).
-        extra_versions = sorted(
-            version
-            for version in (
-                parse_name(text).version
-                for text in self.extra_objects
-                if parse_name(text).base == oname.base
-            )
-            if version is not None
-        )
+        extra_versions = self._extra_versions(oname.base)
         try:
             resolved = self.scope.resolve(self.current_cursor, oname)
             if oname.version is None and extra_versions:
@@ -201,6 +209,29 @@ class DesignThread:
             if oname.version is not None and oname.version in extra_versions:
                 return oname
             raise
+
+    def _extra_versions(self, base: str) -> list[int]:
+        """Sorted checked-in versions of ``base`` (index rebuilt lazily).
+
+        The index is keyed on the set's size: every in-tree mutation either
+        adds names (``check_in``, SDS retrieval, fork inheritance) or
+        replaces the set on a freshly created thread (persistence load), so
+        a size match means the index is current.  Entries without a version
+        are skipped: an extra checked in at version 0 (legal for externally
+        numbered objects) is a real version, distinct from an unversioned
+        entry (which names no version at all).
+        """
+        if self._extras_index_size != len(self.extra_objects):
+            index: dict[str, list[int]] = {}
+            for text in self.extra_objects:
+                name = parse_name(text)
+                if name.version is not None:
+                    index.setdefault(name.base, []).append(name.version)
+            for versions in index.values():
+                versions.sort()
+            self._extras_index = index
+            self._extras_index_size = len(self.extra_objects)
+        return self._extras_index.get(base, [])
 
     def is_visible(self, name: str | ObjectName) -> bool:
         try:

@@ -10,9 +10,15 @@ from __future__ import annotations
 
 from repro.core.control_stream import INITIAL_POINT
 from repro.core.datascope import DataScope
+from repro.core.memo import DerivationCache
 from repro.core.thread import DesignThread
 from repro.errors import ThreadError
 from repro.obs import METRICS, TRACER
+
+
+def _lineage(*threads: DesignThread) -> tuple[DerivationCache, ...]:
+    """The non-None derivation caches of the given threads, in order."""
+    return tuple(t.memo for t in threads if t.memo is not None)
 
 
 def _require_frontier(thread: DesignThread, point: int, role: str) -> None:
@@ -41,6 +47,9 @@ def fork(
     """
     child = DesignThread(name, db=source.db, owner=owner or source.owner,
                          clock=source.clock)
+    # Cross-thread reuse along fork lineage: the child's derivation cache
+    # reads through to the parent's (writes stay local to the child).
+    child.memo = DerivationCache(child.stream, parents=_lineage(source))
     METRICS.counter("thread.forks").inc()
     if TRACER.enabled:
         TRACER.event("thread.fork", cat="thread", source=source.name,
@@ -80,6 +89,12 @@ def cascade(
     merged = DesignThread(name, db=lead.db, owner=lead.owner, clock=lead.clock)
     merged.stream, lead_map = lead.stream.copy()
     merged.scope = DataScope(merged.stream)
+    # The copy preserves the lead points' thread states (and carries their
+    # per-node stride caches); warm the merged scope's result caches too so
+    # the first lookups after a cascade are O(1) instead of full traversals.
+    merged.scope.seed_from(lead.scope, lead_map)
+    merged.memo = DerivationCache(merged.stream,
+                                  parents=_lineage(lead, trail))
     trail_map = merged.stream.graft(
         trail.stream, lead_map.get(connector, connector), INITIAL_POINT
     )
@@ -116,8 +131,13 @@ def join(
                           clock=first.clock)
     merged.stream, first_map = first.stream.copy()
     merged.scope = DataScope(merged.stream)
+    merged.scope.seed_from(first.scope, first_map)
+    merged.memo = DerivationCache(merged.stream,
+                                  parents=_lineage(first, second))
     second_map = merged.stream.graft(second.stream, INITIAL_POINT,
                                      INITIAL_POINT)
+    # A head join preserves the second stream's states as well.
+    merged.scope.seed_from(second.scope, second_map)
     merged.extra_objects = set(first.extra_objects) | set(second.extra_objects)
     METRICS.counter("thread.joins").inc()
     if TRACER.enabled:

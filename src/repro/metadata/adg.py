@@ -40,10 +40,18 @@ class AugmentedDerivationGraph:
     # ----------------------------------------------------------- construction
 
     def add_step(self, step: StepRecord, task: str = "") -> list[DerivationEdge]:
-        """Record one completed design step (one edge per output)."""
+        """Record one completed design step (one edge per output).
+
+        A *reused* step (derivation-cache hit that bound an already
+        committed version rather than creating one) may name an output that
+        already has a producer: that is the same derivation observed again,
+        not a single-assignment violation, so the existing edge stands.
+        """
         edges = []
         for output in step.outputs:
             if output in self._producer:
+                if getattr(step, "reused", False):
+                    continue
                 raise MetadataError(
                     f"{output} already has a producer — single assignment "
                     "violated?"
@@ -86,6 +94,15 @@ class AugmentedDerivationGraph:
     def producer(self, name: str) -> DerivationEdge | None:
         """The tool application that created an object (None for sources)."""
         return self._producer.get(name)
+
+    def edges(self) -> list[DerivationEdge]:
+        """Every derivation edge, in registration order (one per output).
+
+        The derivation cache's ``warm_from_adg`` regroups these into steps;
+        anything else that wants the flat tool-application list (exports,
+        statistics) can use it too.
+        """
+        return list(self._producer.values())
 
     def consumers(self, name: str) -> list[DerivationEdge]:
         return list(self._consumers.get(name, ()))

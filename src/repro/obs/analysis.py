@@ -14,7 +14,10 @@ model is meant to be used:
   plain-text Gantt renderer;
 * :func:`diff` — run-to-run comparison: align two runs' span trees by
   (name, cat, structural path) and report added / removed / retimed
-  subtrees — the rework-analysis tool the history model exists to enable.
+  subtrees — the rework-analysis tool the history model exists to enable;
+* :func:`flame` — critical paths of *every* task span merged by structural
+  step name: where does the simulated time go across a whole flow, which
+  steps dominate, and how much of each was reused from history.
 
 Everything here is a pure function of the event record: no subsystem is
 imported, so traces from other processes (or other machines) analyse the
@@ -23,6 +26,7 @@ same way as the live buffer.  Command-line entry points::
     python -m repro.obs.analysis report   trace.jsonl
     python -m repro.obs.analysis timeline trace.jsonl [width]
     python -m repro.obs.analysis diff     a.jsonl b.jsonl
+    python -m repro.obs.analysis flame    trace.jsonl [width]
 """
 
 from __future__ import annotations
@@ -190,6 +194,7 @@ class PathSegment:
     queue_wait: float = 0.0      # issue → dispatch (suspension + queueing)
     evicted: float = 0.0         # time spent pushed back to the home node
     hops: int = 0                # migrations + evictions + remigrations
+    reused: bool = False         # satisfied from the derivation cache
 
     @property
     def dur(self) -> float:
@@ -293,13 +298,19 @@ def critical_path(model: TraceModel,
     if steps:
         current = max(steps, key=lambda s: (s.end, s.ts))
         chain.append(current)
+        # Track visited spans, not just the current one: reused steps have
+        # zero duration, so two of them at the same timestamp each qualify
+        # as the other's predecessor and the walk would ping-pong forever.
+        seen = {id(current)}
         while True:
             predecessors = [s for s in steps
-                            if s is not current and s.end <= current.ts + _EPS]
+                            if id(s) not in seen
+                            and s.end <= current.ts + _EPS]
             if not predecessors:
                 break
             current = max(predecessors, key=lambda s: (s.end, s.ts))
             chain.append(current)
+            seen.add(id(current))
         chain.reverse()
 
     segments: list[PathSegment] = []
@@ -324,6 +335,7 @@ def critical_path(model: TraceModel,
             queue_wait=max(0.0, step.ts - issue_ts.get(label, step.ts)),
             evicted=sum(b - a for a, b in clipped),
             hops=hops.get(pid, 0),
+            reused=bool(step.args.get("reused")),
         ))
         cursor = step.end
     if task.end > cursor + _EPS or not segments:
@@ -606,6 +618,89 @@ def event_count_delta(model_a: TraceModel,
             if a.get(name, 0) != b.get(name, 0)}
 
 
+# --------------------------------------------------------------------- flame
+
+
+@dataclass
+class FlameFrame:
+    """One structural step name, merged across every task's critical path."""
+
+    label: str
+    count: int = 0               # how many critical paths include the step
+    total: float = 0.0           # summed critical-path seconds
+    max_dur: float = 0.0
+    queue_wait: float = 0.0
+    evicted: float = 0.0
+    reused: int = 0              # occurrences satisfied from history
+    hosts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+def flame(model: TraceModel) -> list[FlameFrame]:
+    """Merge the critical paths of *all* task spans by structural step name.
+
+    One task's critical path says where that task's makespan went; a whole
+    flow runs the same step names many times (iteration, rework, concurrent
+    tasks), so the flow-level question — *which steps dominate?* — needs the
+    per-task paths folded together.  Step segments merge by their step label
+    (the structural name, stable across instantiations); wait segments merge
+    by wait kind under bracketed labels, so the frames still account for the
+    summed makespans exactly.  Frames come back heaviest first.
+    """
+    frames: dict[str, FlameFrame] = {}
+    for task in model.task_spans():
+        path = critical_path(model, task)
+        if path is None:
+            continue
+        for seg in path.segments:
+            label = seg.label if seg.kind == "step" else f"[{seg.label}]"
+            frame = frames.setdefault(label, FlameFrame(label=label))
+            frame.count += 1
+            frame.total += seg.dur
+            frame.max_dur = max(frame.max_dur, seg.dur)
+            frame.queue_wait += seg.queue_wait
+            frame.evicted += seg.evicted
+            if seg.reused:
+                frame.reused += 1
+            if seg.kind == "step" and seg.host:
+                frame.hosts[seg.host] = frame.hosts.get(seg.host, 0) + 1
+    return sorted(frames.values(), key=lambda f: (-f.total, f.label))
+
+
+def render_flame(model: TraceModel, width: int = 40) -> list[str]:
+    """Plain-text flame profile: one bar per merged step name."""
+    frames = flame(model)
+    if not frames:
+        return ["no task spans in trace (was tracing on during the run?)"]
+    grand = sum(f.total for f in frames)
+    lines = [f"critical-path time by step, {len(model.spans(cat='task'))} "
+             f"tasks, {grand:.1f}s total:"]
+    top = max(f.total for f in frames)
+    for frame in frames:
+        bar = "#" * max(1 if frame.total > _EPS else 0,
+                        round(frame.total / top * width) if top > 0 else 0)
+        extras = []
+        if frame.reused:
+            extras.append(f"{frame.reused} reused")
+        if frame.queue_wait > _EPS:
+            extras.append(f"queued {frame.queue_wait:.1f}s")
+        if frame.evicted > _EPS:
+            extras.append(f"evicted {frame.evicted:.1f}s")
+        if frame.hosts:
+            busiest = max(frame.hosts, key=lambda h: frame.hosts[h])
+            extras.append(f"mostly {busiest}")
+        detail = f"  ({', '.join(extras)})" if extras else ""
+        lines.append(
+            f"  {frame.label:<32} {frame.total:8.1f}s "
+            f"{frame.count:3}x mean {frame.mean:7.1f}s "
+            f"|{bar:<{width}}|{detail}"
+        )
+    return lines
+
+
 # ----------------------------------------------------------------- reporting
 
 
@@ -625,6 +720,8 @@ def render_report(model: TraceModel,
         for seg in path.segments:
             if seg.kind == "step":
                 extras = []
+                if seg.reused:
+                    extras.append("reused")
                 if seg.queue_wait > _EPS:
                     extras.append(f"queued {seg.queue_wait:.1f}s")
                 if seg.evicted > _EPS:
@@ -739,7 +836,7 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     usage = ("usage: python -m repro.obs.analysis "
              "report <trace.jsonl> | timeline <trace.jsonl> [width] | "
-             "diff <a.jsonl> <b.jsonl>")
+             "diff <a.jsonl> <b.jsonl> | flame <trace.jsonl> [width]")
     if not argv:
         print(usage, file=sys.stderr)
         return 2
@@ -766,6 +863,12 @@ def _dispatch(command: str, rest: list[str], usage: str) -> int:
         for line in render_gantt(timelines, width=width):
             print(line)
         return 0 if timelines else 1
+    if command == "flame" and rest:
+        model = TraceModel.from_jsonl(rest[0])
+        width = int(rest[1]) if len(rest) > 1 else 40
+        for line in render_flame(model, width=width):
+            print(line)
+        return 0 if model.task_spans() else 1
     if command == "diff" and len(rest) == 2:
         for line in render_diff(TraceModel.from_jsonl(rest[0]),
                                 TraceModel.from_jsonl(rest[1])):

@@ -115,6 +115,38 @@ class DesignDatabase:
                          creator=creator, size=obj.size)
         return obj
 
+    def alias(
+        self,
+        name: str | ObjectName,
+        existing: str | ObjectName,
+    ) -> VersionedObject:
+        """Store the next version of ``name`` sharing an existing version's
+        payload by reference (no copy, zero storage accounted).
+
+        This is how the derivation cache materializes a reused output under
+        a fresh name: the new version is a first-class object (deletable,
+        pinnable, reclaimable on its own) whose payload *is* the committed
+        one, so downstream fingerprints and byte-identity checks hold by
+        construction.  The source may be tombstoned (e.g. an intermediate
+        removed at task commit) but must not be physically reclaimed.
+        """
+        oname = parse_name(name) if isinstance(name, str) else name
+        source = self._entry(existing).obj
+        chain = self._versions.setdefault(oname.base, [])
+        obj = VersionedObject(
+            name=ObjectName(oname.base, len(chain) + 1),
+            payload=source.payload,
+            created_at=self.clock.now,
+            creator=source.creator,
+            size=0,
+        )
+        chain.append(_Entry(obj=obj, last_access=self.clock.now))
+        METRICS.counter("db.versions_aliased").inc()
+        if TRACER.enabled:
+            TRACER.event("db.alias", cat="db", object=str(obj.name),
+                         source=str(source.name))
+        return obj
+
     # ------------------------------------------------------------------- read
 
     def _entry(self, name: str | ObjectName) -> _Entry:

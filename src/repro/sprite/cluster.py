@@ -120,10 +120,16 @@ class Cluster:
     ):
         self.clock = clock or GLOBAL_CLOCK
         self.hosts: dict[str, Workstation] = {}
+        #: Name-ordered view of ``hosts``, maintained by ``add_host`` so the
+        #: per-submission idle-host scan doesn't re-sort on every event.
+        self._hosts_sorted: list[Workstation] = []
         for host in hosts or [Workstation("home")]:
             self.add_host(host)
         self.remigration = remigration
         self.stats = ClusterStats()
+        #: pid → process.  Pids increase monotonically and entries are
+        #: inserted at submission, so iteration order is pid order — views
+        #: over this dict never need sorting.
         self._procs: dict[int, SimProcess] = {}
         self._pid = itertools.count(1)
         self._last_charge = self.clock.now
@@ -134,6 +140,8 @@ class Cluster:
         if host.name in self.hosts:
             raise SchedulerError(f"duplicate host {host.name!r}")
         self.hosts[host.name] = host
+        self._hosts_sorted.append(host)
+        self._hosts_sorted.sort(key=lambda h: h.name)
         return host
 
     @classmethod
@@ -170,8 +178,7 @@ class Cluster:
         return not host.is_owner_busy(self.clock.now) and host.load() == 0
 
     def find_idle_host(self) -> Workstation | None:
-        for name in sorted(self.hosts):
-            host = self.hosts[name]
+        for host in self._hosts_sorted:
             if self.is_idle(host):
                 return host
         return None
@@ -239,7 +246,8 @@ class Cluster:
                          step=proc.label, host=proc.host)
 
     def running(self) -> list[SimProcess]:
-        return sorted(self._procs.values(), key=lambda p: p.pid)
+        # Insertion order is pid order (see ``_procs``): no per-call sort.
+        return list(self._procs.values())
 
     # ------------------------------------------------------------- accounting
 
@@ -278,9 +286,14 @@ class Cluster:
 
     def _evict(self) -> None:
         """Owner-return policy: foreign processes go back to their home node."""
-        for host in self.hosts.values():
-            if host.name == "home" or not host.is_owner_busy(self.clock.now):
+        for host in self._hosts_sorted:
+            if not host.resident or host.name == "home" \
+                    or not host.is_owner_busy(self.clock.now):
                 continue
+            # Resident pids were inserted in submission (= pid) order only
+            # for fresh processes; evictions/remigrations reshuffle the set,
+            # so order here must come from the pids themselves — but only
+            # for the (rare) owner-busy hosts that actually have residents.
             for pid in sorted(host.resident):
                 proc = self._procs[pid]
                 if proc.home == host.name:

@@ -21,8 +21,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.cad.registry import ToolCall, ToolRegistry, ToolResult
+from repro.cad.registry import Tool, ToolCall, ToolRegistry, ToolResult
 from repro.core.history import StepRecord
+from repro.core.memo import DerivationCache, MemoEntry
 from repro.obs import METRICS, TRACER
 from repro.errors import (
     RestartSignal,
@@ -135,6 +136,7 @@ class TaskExecution:
         navigator: Navigator | None = None,
         on_restart: RestartHook | None = None,
         max_restarts: int = 3,
+        memo: DerivationCache | None = None,
     ):
         self.template = template
         self.db = db
@@ -145,6 +147,7 @@ class TaskExecution:
         self.navigator = navigator
         self.on_restart = on_restart
         self.max_restarts = max_restarts
+        self.memo = memo
         self.instance = next(_instances)
 
         self.interp = Interp()
@@ -411,6 +414,8 @@ class TaskExecution:
             output_names=tuple(output_bases),
         )
         tool = self.registry.get(tool_name)
+        if self._try_memo(pending, call, tool):
+            return
         duration = tool.estimate_runtime(call)
         pending.issue_seq = next(self._issue_counter)
         pending.proc = self.cluster.submit(
@@ -427,6 +432,87 @@ class TaskExecution:
             TRACER.event("step.dispatch", cat="step", step=pending.label,
                          tool=tool_name, host=pending.proc.host,
                          pid=pending.proc.pid, instance=self.instance)
+
+    # ----------------------------------------------------- derivation cache
+
+    def _try_memo(self, pending: _Pending, call: ToolCall,
+                  tool: Tool) -> bool:
+        """Consult the derivation cache; on a hit, satisfy the step from
+        history and return True (no process is submitted)."""
+        memo = self.memo
+        if memo is None or tool.interactive:
+            # Interactive tools are user-in-the-loop: their outcome is not a
+            # pure function of (options, inputs), so they always execute.
+            METRICS.counter("memo.bypasses").inc()
+            return False
+        key = memo.key_for(call.tool, call.options, call.input_names,
+                           call.inputs, call.output_names)
+        if key is None:
+            METRICS.counter("memo.bypasses").inc()
+            return False
+        entry = memo.lookup(key, self.db)
+        if entry is None or len(entry.outputs) != len(pending.spec.outputs):
+            METRICS.counter("memo.misses").inc()
+            return False
+        self._satisfy_from_history(pending, call, entry)
+        return True
+
+    def _satisfy_from_history(self, pending: _Pending, call: ToolCall,
+                              entry: MemoEntry) -> None:
+        """Complete a step from a cached derivation (§4.3 semantics intact).
+
+        Every output is *aliased*: a fresh version of the step's output base
+        is allocated (exactly the version ``put`` would have chosen) sharing
+        the committed payload by reference.  Version allocation is therefore
+        identical to a cold re-execution, single assignment holds, and the
+        aliases ride the normal ``created`` bookkeeping — undo and task
+        abort treat a cache hit exactly like a real step.
+        """
+        now = self.cluster.clock.now
+        outputs_created: list[str] = []
+        payloads: dict[str, Any] = {}
+        for formal, (cached_base, cached_name) in zip(
+            pending.spec.outputs, entry.outputs
+        ):
+            slot = self._slot_for(pending.scope, formal)
+            cached = self.db.get(cached_name)
+            obj = self.db.alias(slot.base, cached_name)
+            slot.version = obj.version
+            self.created.append(str(obj.name))
+            slot.producer = pending.internal_id
+            outputs_created.append(str(obj.name))
+            payloads[slot.base] = cached.payload
+        pending.issue_seq = next(self._issue_counter)
+        pending.result = ToolResult(status=0, outputs=payloads,
+                                    log="reused from history")
+        pending.record = StepRecord(
+            name=pending.spec.name,
+            tool=call.tool,
+            options=call.options,
+            inputs=call.input_names,
+            outputs=tuple(outputs_created),
+            host="(memo)",
+            started_at=now,
+            completed_at=now,
+            status=0,
+            reused=True,
+        )
+        self.completed.append(pending)
+        self.completed_ok.add(pending.internal_id)
+        METRICS.counter("memo.hits").inc()
+        METRICS.counter("memo.saved_seconds").inc(entry.cost)
+        METRICS.counter("engine.steps_completed").inc()
+        if TRACER.enabled:
+            TRACER.complete_span(
+                f"step:{pending.spec.name}", "step", now, now,
+                tool=call.tool, host="(memo)", status=0,
+                step=pending.label, instance=self.instance, reused=True,
+            )
+            TRACER.event("step.reused", cat="step", step=pending.label,
+                         tool=call.tool, saved=entry.cost,
+                         outputs=outputs_created, instance=self.instance)
+        self.interp.set_var("status", "0")
+        self._wake_suspended()
 
     # ------------------------------------------------------------ completion
 
@@ -518,6 +604,11 @@ class TaskExecution:
         while progressed:
             progressed = False
             for pending in list(self.suspending):
+                # A dispatch may hit the derivation cache and complete
+                # synchronously, recursing into this method — the recursive
+                # call may already have drained entries of our snapshot.
+                if pending not in self.suspending:
+                    continue
                 if self._ready(pending):
                     self.suspending.remove(pending)
                     self._dispatch(pending)

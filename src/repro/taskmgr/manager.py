@@ -12,6 +12,7 @@ from __future__ import annotations
 from repro.cad.registry import ToolRegistry
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.core.history import HistoryRecord
+from repro.core.memo import DerivationCache
 from repro.errors import TaskAborted
 from repro.obs import METRICS, TRACER
 from repro.octdb.database import DesignDatabase
@@ -53,14 +54,19 @@ class TaskManager:
         inputs: dict[str, str] | None = None,
         outputs: dict[str, str] | None = None,
         keep_intermediates: bool = False,
+        memo: DerivationCache | None = None,
     ) -> HistoryRecord:
         """Instantiate and run a task template to commit.
 
         ``inputs`` maps the template's input formals to actual (resolved,
         versioned) object names; ``outputs`` maps output formals to the base
         names under which results are stored (defaults to the formal names).
-        Returns the task's history record; raises :class:`TaskAborted` if the
-        task could not be completed.
+        ``memo`` is the invoking thread's derivation cache: steps whose
+        (tool, options, input contents) match a committed derivation are
+        satisfied from history instead of executing, and the committed
+        record seeds the cache for future invocations.  Returns the task's
+        history record; raises :class:`TaskAborted` if the task could not be
+        completed.
         """
         template = self.library.get(name)
         execution = TaskExecution(
@@ -75,6 +81,7 @@ class TaskManager:
             navigator=self.navigator,
             on_restart=self.on_restart,
             max_restarts=self.max_restarts,
+            memo=memo,
         )
         self.executions.append(execution)
         execution.run()   # raises TaskAborted on failure
@@ -85,15 +92,23 @@ class TaskManager:
             steps=execution.step_records(),
             recorded_at=self.clock.now,
         )
-        self._commit(execution, record, keep_intermediates)
+        self._commit(execution, record, keep_intermediates, memo)
         return record
 
     def _commit(self, execution: TaskExecution, record: HistoryRecord,
-                keep_intermediates: bool) -> None:
+                keep_intermediates: bool,
+                memo: DerivationCache | None = None) -> None:
         # Maintain the task abstraction (§4.3.5): hide internal side effects
         # by removing intermediates; protect the real outputs.
         for output in record.outputs:
             self.db.pin(output)
+        # Seed the derivation cache before intermediates are tombstoned so
+        # every step's inputs are still trivially fetchable (tombstoned
+        # versions stay fetchable anyway — this just keeps ordering obvious).
+        # Only committed records ever get here: aborted tasks raised already,
+        # and populate() itself skips failed steps.
+        if memo is not None:
+            memo.populate(record, self.db)
         if not keep_intermediates:
             for name_ in execution.intermediate_names():
                 if self.db.exists(name_) and not self.db.is_deleted(name_):
@@ -109,6 +124,7 @@ class TaskManager:
         self,
         requests: list[tuple[str, dict[str, str], dict[str, str]]],
         keep_intermediates: bool = False,
+        memo: DerivationCache | None = None,
     ) -> list[HistoryRecord]:
         """Run several task instantiations concurrently on the shared
         network (§3.3.4: multiple active instantiations at once).
@@ -128,7 +144,7 @@ class TaskManager:
                 db=self.db, registry=self.registry, cluster=self.cluster,
                 library=self.library, attrdb=self.attrdb,
                 navigator=self.navigator, on_restart=self.on_restart,
-                max_restarts=self.max_restarts,
+                max_restarts=self.max_restarts, memo=memo,
             )
             self.executions.append(execution)
             executions.append(execution)
@@ -161,6 +177,6 @@ class TaskManager:
                 steps=execution.step_records(),
                 recorded_at=self.clock.now,
             )
-            self._commit(execution, record, keep_intermediates)
+            self._commit(execution, record, keep_intermediates, memo)
             records.append(record)
         return records

@@ -18,8 +18,10 @@ from repro.obs.analysis import (
     critical_path,
     diff,
     event_count_delta,
+    flame,
     profile_summary,
     render_diff,
+    render_flame,
     render_gantt,
     render_report,
     scheduler_gaps,
@@ -513,4 +515,78 @@ class TestReportsAndCli:
         finally:
             obs.TRACER.disable()
             obs.TRACER.close_stream()
+            obs.TRACER.clear()
+
+
+class TestFlame:
+    def test_merges_critical_paths_by_step_name(self, clock: VirtualClock):
+        """Two runs of the same task fold into one frame per step name."""
+        tracer = Tracer(clock=clock, enabled=True)
+        for _ in range(2):
+            with tracer.span("task:T", cat="task"):
+                start = clock.now
+                tracer.complete_span("step:A", "step", start, start + 40.0,
+                                     step="A[0]", host="home", pid=1)
+                tracer.complete_span("step:C", "step", start + 40.0,
+                                     start + 90.0, step="C[1]", host="ws01",
+                                     pid=2)
+                clock.advance(90.0)
+        frames = {f.label: f for f in
+                  flame(TraceModel.from_tracer(tracer))}
+        assert frames["A[0]"].count == 2
+        assert frames["A[0]"].total == pytest.approx(80.0)
+        assert frames["C[1]"].count == 2
+        assert frames["C[1]"].total == pytest.approx(100.0)
+        assert frames["C[1]"].max_dur == pytest.approx(50.0)
+        assert frames["C[1]"].hosts == {"ws01": 2}
+        # heaviest first
+        assert [f.label for f in flame(TraceModel.from_tracer(tracer))][0] \
+            == "C[1]"
+
+    def test_reused_steps_attributed(self, clock: VirtualClock):
+        tracer = Tracer(clock=clock, enabled=True)
+        with tracer.span("task:T", cat="task"):
+            tracer.complete_span("step:A", "step", 0.0, 0.0, step="A[0]",
+                                 host="(memo)", reused=True)
+            clock.advance(5.0)
+        frames = flame(TraceModel.from_tracer(tracer))
+        by_label = {f.label: f for f in frames}
+        assert by_label["A[0]"].reused == 1
+        text = "\n".join(render_flame(TraceModel.from_tracer(tracer)))
+        assert "1 reused" in text
+
+    def test_zero_duration_steps_terminate(self, clock: VirtualClock):
+        """Regression: two zero-duration steps at the same timestamp each
+        qualify as the other's predecessor; the backward walk must visit
+        each span once instead of ping-ponging forever."""
+        tracer = Tracer(clock=clock, enabled=True)
+        with tracer.span("task:T", cat="task"):
+            tracer.complete_span("step:A", "step", 0.0, 0.0, step="A[0]",
+                                 host="(memo)", reused=True)
+            tracer.complete_span("step:B", "step", 0.0, 0.0, step="B[1]",
+                                 host="(memo)", reused=True)
+            clock.advance(1.0)
+        path = critical_path(TraceModel.from_tracer(tracer))
+        assert path is not None
+        assert sorted(seg.label for seg in path.steps) == ["A[0]", "B[1]"]
+        assert all(seg.reused for seg in path.steps)
+
+    def test_flame_cli_and_shell(self, clock: VirtualClock, tmp_path,
+                                 capsys):
+        traced = build_chain_trace(clock)
+        good = str(tmp_path / "good.jsonl")
+        traced.export_jsonl(good)
+        assert analysis_main(["flame", good]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path time by step" in out
+        assert "A[0]" in out and "C[2]" in out
+
+        from repro.cli import Shell
+
+        obs.TRACER.clear()
+        try:
+            shell = Shell()
+            lines = "\n".join(shell.execute(f"trace flame {good} 20"))
+            assert "critical-path time by step" in lines
+        finally:
             obs.TRACER.clear()
