@@ -13,9 +13,13 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.common import banner, export_observability, table, trace_out
+from benchmarks.common import (banner, export_observability, note_run_meta,
+                               table, trace_out)
 from repro import obs
+from repro.clock import VirtualClock
 from repro.metadata.attrindex import AttributeIndex
+from repro.sprite import Cluster
+from repro.sprite.host import OwnerSchedule, Workstation
 from repro.workloads.generator import generate_project
 
 
@@ -23,6 +27,7 @@ def measure(commits: int) -> dict:
     if trace_out():
         obs.enable_tracing()
     project = generate_project(commits, seed=11)
+    note_run_meta(seed=11)
     if obs.TRACER.enabled:
         # Re-point the tracer at this project's virtual clock so later
         # events (cursor moves below) carry its timestamps.
@@ -98,6 +103,12 @@ def measure_ping_pong(commits: int = 200, moves: int = 50) -> dict:
     pattern PR-1's traces showed dominating event volume.  Reports
     ``DataScope.nodes_visited`` with the epoch-keyed cache on vs off."""
     project = generate_project(commits, seed=11)
+    note_run_meta(seed=11)
+    if obs.TRACER.enabled:
+        # Re-point the tracer at this project's virtual clock: without this
+        # every cursor-move event below is stamped 0.0 and the exported
+        # profile is useless for gating.
+        obs.TRACER.enable(clock=project.papyrus.clock)
     thread = project.designer.thread
     points = thread.stream.points()
     far, near = points[-1], points[len(points) // 2]
@@ -163,6 +174,80 @@ def test_rework_ping_pong_cache(benchmark):
     export_observability("scale_rework", {"rows": results})
 
 
+def measure_stall(jobs: int = 4, work: float = 10.0) -> dict:
+    """Induced host stall: the canonical scheduler gap, deterministically.
+
+    One colleague workstation (ws01) whose owner sits at the console
+    through dispatch time, re-migration off.  Every job piles onto the home
+    node; when the owner leaves at ``2 * work`` seconds, ws01 idles while
+    home timeshares ``jobs`` processes — with the defaults, exactly 20
+    virtual seconds of scheduler gap on a 40-second makespan.  The default
+    ``scheduler_gap`` rule (>10s) must fire, and the per-host gap seconds
+    must land in ``cluster.gap_seconds`` via the monitor's feedback push.
+
+    Clears the global trace buffer (the gap signal is derived from this
+    run's ``cluster.*`` events alone).
+    """
+    from repro.obs.health import HealthMonitor
+
+    clock = VirtualClock()
+    hosts = [
+        Workstation("home"),
+        Workstation("ws01", schedule=OwnerSchedule(period=4 * work,
+                                                   busy=2 * work)),
+    ]
+    cluster = Cluster(hosts, clock=clock, remigration=False)
+    was_enabled = obs.TRACER.enabled
+    obs.TRACER.clear()
+    obs.TRACER.enable(clock=clock)
+    monitor = HealthMonitor()
+    monitor.attach_clock(clock, interval=work / 2)
+    monitor.attach_cluster(cluster)
+    for i in range(jobs):
+        cluster.submit(f"stall{i}", work=work)
+    cluster.drain()
+    summary = monitor.evaluate(reason="drain")
+    gap_total, gap_by_host = monitor.gap_signals()
+    if not was_enabled:
+        obs.TRACER.disable()
+    return {
+        "jobs": jobs,
+        "work_seconds": work,
+        "makespan_seconds": clock.now,
+        "gap_seconds": gap_total,
+        "gap_by_host": gap_by_host,
+        "alerts": sorted(f["rule"] for f in summary["firing"]),
+        "health": summary["status"],
+        "pushed_gap_seconds": dict(cluster.gap_seconds),
+    }
+
+
+def check_stall(result: dict) -> None:
+    """Acceptance: the induced stall must trip the default ruleset."""
+    assert "scheduler_gap" in result["alerts"], (
+        f"scheduler_gap did not fire: {result}")
+    assert result["gap_seconds"] > 10, result
+    assert result["pushed_gap_seconds"].get("ws01", 0.0) > 10, result
+
+
+def test_scale_induced_stall_alert(benchmark):
+    result = benchmark.pedantic(measure_stall, rounds=1, iterations=1)
+
+    banner("E-SCALE — induced host stall trips the scheduler_gap alert")
+    table(
+        ["jobs", "makespan (s)", "gap (s)", "health", "alerts"],
+        [[result["jobs"], result["makespan_seconds"],
+          result["gap_seconds"], result["health"],
+          ",".join(result["alerts"])]],
+    )
+    check_stall(result)
+    # The scenario is exact: 4 jobs x 10s timeshared 4-way on home finish
+    # at t=40; the owner leaves ws01 at t=20 -> a 20-second gap.
+    assert result["makespan_seconds"] == 40.0
+    assert abs(result["gap_seconds"] - 20.0) < 1e-6
+    export_observability("scale_stall", {"stall": result})
+
+
 if __name__ == "__main__":
     # CI cache-smoke entry point (no pytest needed): run the rework
     # workload small and fail if the cache never hits.  With
@@ -183,3 +268,14 @@ if __name__ == "__main__":
     print("cache smoke OK")
     if path:
         export_observability("scale_smoke", {"rows": result})
+    # Health smoke: the induced-stall scenario must trip the default
+    # scheduler_gap rule (runs after the export above — it clears the
+    # trace buffer and re-points the tracer at its own clock).
+    stall = measure_stall()
+    print(f"stall: makespan {stall['makespan_seconds']:.1f}s, "
+          f"scheduler gap {stall['gap_seconds']:.1f}s, "
+          f"health={stall['health']}, alerts={','.join(stall['alerts'])}")
+    check_stall(stall)
+    print("stall alert smoke OK")
+    if path:
+        export_observability("scale_stall", {"stall": stall})

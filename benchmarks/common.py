@@ -16,6 +16,17 @@ from pathlib import Path
 
 from repro import Papyrus, obs
 
+#: Run metadata embedded as the ``meta`` block of every ``BENCH_*.json`` —
+#: what the perf gate needs to decide two runs are comparable (schema
+#: version, host count, workload seed).  Benchmarks add keys via
+#: :func:`note_run_meta`; :func:`fresh_papyrus` records the host count.
+_RUN_META: dict = {}
+
+
+def note_run_meta(**kwargs) -> None:
+    """Record metadata for the current run's ``BENCH_*.json`` meta block."""
+    _RUN_META.update({k: v for k, v in kwargs.items() if v is not None})
+
 
 def trace_out() -> str | None:
     """The ``--trace-out PATH`` option (or ``PAPYRUS_TRACE_OUT`` env var).
@@ -38,6 +49,7 @@ def trace_out() -> str | None:
 
 def fresh_papyrus(hosts: int = 4, **kwargs) -> Papyrus:
     papyrus = Papyrus.standard(hosts=hosts, **kwargs)
+    note_run_meta(hosts=hosts)
     path = trace_out()
     if path:
         # Stream events to disk as they happen: long benchmark runs stay
@@ -56,6 +68,7 @@ def export_observability(bench_name: str, extra: dict | None = None) -> Path | N
     if not path:
         return None
     from repro.obs.analysis import TraceModel, profile_summary
+    from repro.obs.health import SNAPSHOT_SCHEMA
 
     if obs.TRACER.stream_path == path:
         # Streaming wrote the file already; just flush and count.
@@ -65,6 +78,7 @@ def export_observability(bench_name: str, extra: dict | None = None) -> Path | N
         events_written = obs.TRACER.export_jsonl(path)
     payload = {
         "bench": bench_name,
+        "meta": {"schema": SNAPSHOT_SCHEMA, **_RUN_META},
         "metrics": obs.metrics_snapshot(),
         "profile": profile_summary(TraceModel.from_tracer(obs.TRACER)),
         "trace": {"path": path, "events": events_written,

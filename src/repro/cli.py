@@ -58,6 +58,9 @@ class Shell:
         self.current: str | None = None
         self.out: list[str] = []
         self.done = False
+        #: Lazily attached ``repro.obs.health.HealthMonitor`` (first
+        #: ``health`` command wires it to the installation's clock/taskmgr).
+        self._health = None
         self._commands: dict[str, Callable[[list[str]], None]] = {
             "help": self._cmd_help,
             "tasks": self._cmd_tasks,
@@ -76,6 +79,7 @@ class Shell:
             "notebook": self._cmd_notebook,
             "reclaim": self._cmd_reclaim,
             "trace": self._cmd_trace,
+            "health": self._cmd_health,
             "stats": self._cmd_stats,
             "spans": self._cmd_spans,
             "advance": self._cmd_advance,
@@ -145,7 +149,11 @@ class Shell:
             "trace report [path]": "critical path + utilization report",
             "trace timeline [path] [width]": "per-host Gantt timeline",
             "trace diff <a.jsonl> <b.jsonl>": "compare two runs' span trees",
+            "trace diff --metrics <a.json> <b.json>": "diff metric snapshots",
             "trace flame [path] [width]": "merge critical paths by step name",
+            "health [rules]": "evaluate live alert rules (ok/warn/crit)",
+            "health diff <a.json> <b.json>": "diff two metrics snapshots",
+            "health gate <BENCH.json> <baseline.json>": "perf regression gate",
             "stats": "print the metrics registry snapshot",
             "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
@@ -341,8 +349,15 @@ class Shell:
                 raise ShellError(f"malformed trace {path!r}: {exc}")
 
         if action == "diff":
+            if args and args[0] == "--metrics":
+                # Metrics-snapshot mode: compare the ``metrics`` blocks of
+                # two BENCH json files (or bare snapshot files) instead of
+                # span trees.
+                self._metrics_diff(args[1:])
+                return
             if len(args) != 2:
-                raise ShellError("usage: trace diff <a.jsonl> <b.jsonl>")
+                raise ShellError("usage: trace diff <a.jsonl> <b.jsonl> | "
+                                 "trace diff --metrics <a.json> <b.json>")
             lines = analysis.render_diff(load(args[0]), load(args[1]))
             for line in lines:
                 self._print(line)
@@ -368,6 +383,67 @@ class Shell:
                                           width=width)
             for line in lines:
                 self._print(line)
+
+    def _metrics_diff(self, args: list[str]) -> None:
+        from repro.obs import health
+
+        if len(args) != 2:
+            raise ShellError(
+                "usage: trace diff --metrics <a.json> <b.json>")
+        try:
+            deltas = health.diff_metrics(health.load_snapshot(args[0]),
+                                         health.load_snapshot(args[1]))
+        except (OSError, ValueError, health.HealthError) as exc:
+            raise ShellError(f"cannot diff metrics: {exc}")
+        for line in health.render_metrics_diff(deltas):
+            self._print(line)
+
+    def _health_monitor(self):
+        """The installation's monitor, wired on first use: clock-throttled
+        re-evaluation plus an evaluation at every task commit."""
+        from repro.obs.health import HealthMonitor
+
+        if self._health is None:
+            monitor = HealthMonitor()
+            monitor.attach_clock(self.papyrus.clock)
+            monitor.attach_taskmgr(self.papyrus.taskmgr)
+            self._health = monitor
+        return self._health
+
+    def _cmd_health(self, args: list[str]) -> None:
+        usage = ("usage: health | health rules | "
+                 "health diff <a.json> <b.json> | "
+                 "health gate <BENCH.json> <baseline.json>")
+        from repro.obs import health
+
+        action = args[0] if args else "summary"
+        if action == "summary":
+            monitor = self._health_monitor()
+            monitor.evaluate(reason="shell")
+            for line in monitor.render():
+                self._print(line)
+        elif action == "rules":
+            monitor = self._health_monitor()
+            for rule in monitor.rules:
+                state = ("FIRING" if monitor.firing.get(rule.name)
+                         else "ok")
+                self._print(
+                    f"  {rule.name:<20} [{rule.severity:<4}] "
+                    f"{rule.signal} {rule.op} {rule.threshold:g}  "
+                    f"({state})")
+        elif action == "diff":
+            self._metrics_diff(args[1:])
+        elif action == "gate":
+            if len(args) != 3:
+                raise ShellError(usage)
+            try:
+                lines, _ok = health.gate_files(args[1], args[2])
+            except (OSError, ValueError, health.HealthError) as exc:
+                raise ShellError(f"cannot gate: {exc}")
+            for line in lines:
+                self._print(line)
+        else:
+            raise ShellError(usage)
 
     def _cmd_stats(self, args: list[str]) -> None:
         cluster = self.papyrus.taskmgr.cluster

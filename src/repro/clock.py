@@ -51,6 +51,29 @@ class VirtualClock:
             self._notify_advance(old)
         return self._now
 
+    def every(self, interval: float,
+              callback: Callable[[float], None]) -> AdvanceCallback:
+        """Call ``callback(now)`` at most once per ``interval`` of advance.
+
+        A throttle, not a strict cadence: the callback fires on the first
+        advance at or past the due time, then re-arms ``interval`` from
+        *that* moment — one large jump produces one call, not a backlog.
+        Returns the registered observer so callers can unsubscribe with
+        ``clock.on_advance.remove(observer)``.
+        """
+        if interval <= 0:
+            raise ValueError(f"interval must be positive ({interval})")
+        due = self._now + interval
+
+        def _observer(old: float, new: float) -> None:
+            nonlocal due
+            if new >= due:
+                due = new + interval
+                callback(new)
+
+        self.on_advance.append(_observer)
+        return _observer
+
     def advance_to(self, when: float) -> float:
         """Move the clock forward to absolute time ``when`` (no-op if past)."""
         if when > self._now:

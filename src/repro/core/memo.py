@@ -40,6 +40,12 @@ still fetchable in the database — a reclaimed version can never be served.
 Only *committed* steps seed the cache (population happens in the task
 manager's commit, from records whose task ran to completion): a step undone
 by a programmable abort, or any step of an aborted task, leaves no entry.
+
+The cache is bounded: at most ``max_entries`` entries per cache, evicted in
+LRU order (hits refresh recency).  Evictions count ``memo.evictions`` and
+the installation-wide live-entry total is the ``memo.size`` gauge, so the
+health ruleset can alarm on thrash — a cache that keeps evicting entries it
+is about to need again.
 """
 
 from __future__ import annotations
@@ -60,6 +66,13 @@ if TYPE_CHECKING:
 #: Placeholder prefix: cannot collide with user option tokens.
 _IN = "\x00in"
 _OUT = "\x00out"
+
+#: Default per-cache entry bound.  Every entry holds a key (three small
+#: tuples) and output name pairs, so even the default is a few MB at most —
+#: the bound exists so a million-commit thread cannot grow without limit,
+#: and so ``memo.evictions`` becomes a thrash signal the health ruleset can
+#: alarm on (a workload that keeps evicting entries it is about to need).
+DEFAULT_MAX_ENTRIES = 4096
 
 MemoKey = tuple[str, tuple[str, ...], tuple[str, ...]]
 
@@ -134,14 +147,24 @@ class DerivationCache:
         self,
         stream: "ControlStream | None" = None,
         parents: tuple["DerivationCache", ...] = (),
+        max_entries: int | None = DEFAULT_MAX_ENTRIES,
     ):
         self.stream = stream
         self.parents = parents
+        self.max_entries = max_entries
+        #: Insertion order doubles as recency order (hits move to the end),
+        #: so the LRU victim is always the first key.
         self._entries: dict[MemoKey, MemoEntry] = {}
         self._seen_scope_epoch = stream.scope_epoch if stream else -1
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @staticmethod
+    def _size_gauge():
+        """``memo.size`` tracks live entries across *all* caches (threads
+        fork and join; the thrash signal is installation-wide)."""
+        return METRICS.gauge("memo.size")
 
     # ---------------------------------------------------------------- keying
 
@@ -178,6 +201,7 @@ class DerivationCache:
             del self._entries[key]
         if stale:
             METRICS.counter("memo.invalidations").inc(len(stale))
+            self._size_gauge().dec(len(stale))
 
     def lookup(self, key: MemoKey, db: "DesignDatabase") -> MemoEntry | None:
         """Find a valid entry for ``key`` (own store first, then lineage).
@@ -189,9 +213,12 @@ class DerivationCache:
         entry = self._entries.get(key)
         if entry is not None:
             if all(db.exists(name) for _, name in entry.outputs):
+                # Refresh recency so a hot entry never becomes the victim.
+                self._entries[key] = self._entries.pop(key)
                 return entry
             del self._entries[key]
             METRICS.counter("memo.invalidations").inc()
+            self._size_gauge().dec()
         for parent in self.parents:
             found = parent.lookup(key, db)
             if found is not None:
@@ -202,6 +229,16 @@ class DerivationCache:
 
     def store(self, key: MemoKey, entry: MemoEntry) -> None:
         self._sync()
+        if key in self._entries:
+            self._entries.pop(key)          # overwrite refreshes recency
+        else:
+            self._size_gauge().inc()
+            if self.max_entries is not None and \
+                    len(self._entries) >= self.max_entries:
+                victim = next(iter(self._entries))
+                del self._entries[victim]
+                METRICS.counter("memo.evictions").inc()
+                self._size_gauge().dec()
         self._entries[key] = entry
 
     def populate(self, record: "HistoryRecord",

@@ -358,6 +358,10 @@ class HostTimeline:
     #: Timestamps of evictions off / migration arrivals onto this host.
     evictions: list[float] = field(default_factory=list)
     arrivals: list[float] = field(default_factory=list)
+    #: (start, end) windows where the owner was at the console, replayed
+    #: from ``cluster.owner`` transition events.  An owner-busy host is not
+    #: *available* — scheduler-gap detection must not blame it for idling.
+    owner_busy: list[tuple[float, float]] = field(default_factory=list)
 
     @property
     def busy_seconds(self) -> float:
@@ -374,6 +378,9 @@ class HostTimeline:
             if a - _EPS <= t < b:
                 return load
         return 0
+
+    def owner_busy_at(self, t: float) -> bool:
+        return any(a - _EPS <= t < b for a, b in self.owner_busy)
 
 
 def utilization(model: TraceModel,
@@ -402,11 +409,35 @@ def utilization(model: TraceModel,
         deltas[host].append((ts, -1))
 
     last_ts = 0.0
+    first_ts: float | None = None
+    #: host -> (since, busy) owner console state, from transition events.
+    owner_state: dict[str, tuple[float, bool]] = {}
     for event in model.events(cat="cluster"):
         args, ts = event["args"], event["ts"]
         pid = args.get("pid")
         last_ts = max(last_ts, ts)
+        if first_ts is None:
+            first_ts = ts
+        if event["name"] == "cluster.owner":
+            host_name = args.get("host", "?")
+            tl = timeline(host_name)
+            busy = bool(args.get("busy"))
+            prev = owner_state.get(host_name)
+            if prev is None:
+                # First transition seen: going not-busy means the owner was
+                # at the console since the start of the record.
+                if not busy and ts > first_ts:
+                    tl.owner_busy.append((first_ts, ts))
+            elif prev[1] and not busy:
+                tl.owner_busy.append((prev[0], ts))
+            owner_state[host_name] = (ts, busy)
+            continue
         if pid is None:
+            # Topology-only events (a host with no process traffic) still
+            # materialize a timeline, so an all-idle host is visible to
+            # scheduler-gap detection instead of silently absent.
+            if "host" in args:
+                timeline(args["host"])
             continue
         if event["name"] == "cluster.submit":
             place(pid, args.get("host", "?"), ts)
@@ -422,6 +453,9 @@ def utilization(model: TraceModel,
     horizon = end if end is not None else last_ts
     for pid, host in where.items():      # still-running at trace end
         deltas[host].append((horizon, -1))
+    for host_name, (since, busy) in owner_state.items():
+        if busy and horizon > since:     # owner still at the console
+            timelines[host_name].owner_busy.append((since, horizon))
 
     for host, changes in deltas.items():
         changes.sort(key=lambda c: c[0])
@@ -453,16 +487,21 @@ class SchedulerGap:
 def scheduler_gaps(timelines: dict[str, HostTimeline],
                    min_dur: float = 0.0) -> list[SchedulerGap]:
     """Windows where work could have spread but didn't: some host has load
-    zero while another host timeshares two or more processes."""
+    zero (and no owner at its console) while another host timeshares two or
+    more processes."""
     cuts = sorted({t for tl in timelines.values()
-                   for a, b, _ in tl.intervals for t in (a, b)})
+                   for a, b, _ in tl.intervals for t in (a, b)} |
+                  {t for tl in timelines.values()
+                   for a, b in tl.owner_busy for t in (a, b)})
     gaps: list[SchedulerGap] = []
     for a, b in zip(cuts, cuts[1:]):
         if b - a <= _EPS:
             continue
         mid = (a + b) / 2
         loads = {h: tl.load_at(mid) for h, tl in timelines.items()}
-        idle = tuple(sorted(h for h, l in loads.items() if l == 0))
+        idle = tuple(sorted(h for h, l in loads.items()
+                            if l == 0 and
+                            not timelines[h].owner_busy_at(mid)))
         max_load = max(loads.values(), default=0)
         if idle and max_load >= 2:
             if gaps and abs(gaps[-1].end - a) <= _EPS \

@@ -39,6 +39,47 @@ def _label_key(labels: dict[str, Any]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def bucket_quantile(
+    bounds: tuple[float, ...],
+    counts: list[int] | tuple[int, ...],
+    count: int,
+    q: float,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> float | None:
+    """Quantile ``q`` estimated from cumulative bucket counts.
+
+    Interpolates linearly inside the selected bucket and clamps to the
+    observed ``[lo, hi]`` range, so degenerate distributions stay exact:
+    an empty series returns None (never a fabricated 0.0), and a
+    single-sample series returns that sample for every ``q``.  Shared by
+    :meth:`Histogram.quantile` and the health engine's cross-label merge.
+    """
+    if count <= 0:
+        return None
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    rank = q * count
+    cum = 0.0
+    prev_bound = lo if lo is not None else 0.0
+    for bound, n in zip(bounds, counts):
+        cum += n
+        if n and cum >= rank:
+            lower = prev_bound
+            upper = bound if bound != float("inf") else \
+                (hi if hi is not None else lower)
+            frac = (rank - (cum - n)) / n
+            value = lower + (upper - lower) * frac
+            if lo is not None:
+                value = max(value, lo)
+            if hi is not None:
+                value = min(value, hi)
+            return value
+        if bound != float("inf"):
+            prev_bound = bound
+    return hi
+
+
 class Counter:
     """A monotonically non-decreasing count."""
 
@@ -117,6 +158,16 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        """Estimated quantile ``q`` (0..1) of the observed distribution.
+
+        None when no sample has landed yet — alert rules treat a None
+        signal as "not evaluable" rather than comparing against a phantom
+        zero.  With one sample, every quantile is that sample.
+        """
+        return bucket_quantile(self.buckets, self.bucket_counts, self.count,
+                               q, lo=self.min, hi=self.max)
+
     def snapshot(self) -> dict[str, Any]:
         return {
             "count": self.count,
@@ -180,6 +231,20 @@ class MetricsRegistry:
         """The snapshot value of one instrument (0.0 if never touched)."""
         metric = self._metrics.get((name, _label_key(labels)))
         return metric.snapshot() if metric is not None else 0.0
+
+    def get(self, name: str, **labels: Any) -> Any | None:
+        """The instrument itself, or None if it was never created.
+
+        Unlike :meth:`value` this distinguishes "missing" from 0.0, which
+        the health engine needs: a rule over a metric that has never been
+        touched is skipped, not compared against zero.
+        """
+        return self._metrics.get((name, _label_key(labels)))
+
+    def series(self, name: str) -> list[Any]:
+        """Every instrument registered under ``name``, across label sets."""
+        return [metric for (metric_name, _), metric
+                in sorted(self._metrics.items()) if metric_name == name]
 
     def __iter__(self):
         return iter(sorted(self._metrics.items()))

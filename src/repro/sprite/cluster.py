@@ -117,6 +117,7 @@ class Cluster:
         hosts: list[Workstation] | None = None,
         clock: VirtualClock | None = None,
         remigration: bool = True,
+        gap_feedback: bool = False,
     ):
         self.clock = clock or GLOBAL_CLOCK
         self.hosts: dict[str, Workstation] = {}
@@ -126,6 +127,16 @@ class Cluster:
         for host in hosts or [Workstation("home")]:
             self.add_host(host)
         self.remigration = remigration
+        #: History feedback into placement: when enabled, ``find_idle_host``
+        #: prefers the idle host with the fewest *recent* scheduler-gap
+        #: seconds (windows it sat idle while another host timeshared work —
+        #: on owner-prone machines that is the signature of eviction churn:
+        #: the host keeps going empty and stranding its work elsewhere).
+        #: The per-host numbers are pushed by a ``repro.obs.health``
+        #: monitor via :meth:`note_gap_seconds`; with nothing pushed the
+        #: scan stays the plain name-ordered one.
+        self.gap_feedback = gap_feedback
+        self.gap_seconds: dict[str, float] = {}
         self.stats = ClusterStats()
         #: pid → process.  Pids increase monotonically and entries are
         #: inserted at submission, so iteration order is pid order — views
@@ -152,6 +163,7 @@ class Cluster:
         owner_period: float = 0.0,
         owner_busy: float = 0.0,
         remigration: bool = True,
+        gap_feedback: bool = False,
     ) -> "Cluster":
         """A home node plus ``n_hosts - 1`` colleague workstations.
 
@@ -169,7 +181,8 @@ class Cluster:
             else:
                 schedule = OwnerSchedule()
             hosts.append(Workstation(f"ws{i + 1:02d}", schedule=schedule))
-        return cls(hosts, clock=clock, remigration=remigration)
+        return cls(hosts, clock=clock, remigration=remigration,
+                   gap_feedback=gap_feedback)
 
     def is_idle(self, host: Workstation) -> bool:
         """Sprite's idleness rule: owner away and no resident processes."""
@@ -177,7 +190,26 @@ class Cluster:
             return False
         return not host.is_owner_busy(self.clock.now) and host.load() == 0
 
+    def note_gap_seconds(self, per_host: dict[str, float]) -> None:
+        """Receive recent scheduler-gap seconds per host (health feedback).
+
+        Called by a ``repro.obs.health`` monitor each time it re-derives
+        gap windows from the trace; the map replaces the previous one, so
+        the placement bias always reflects the monitor's newest window.
+        """
+        self.gap_seconds = dict(per_host)
+
     def find_idle_host(self) -> Workstation | None:
+        if self.gap_feedback and self.gap_seconds:
+            best: Workstation | None = None
+            best_key: tuple[float, str] | None = None
+            for host in self._hosts_sorted:
+                if not self.is_idle(host):
+                    continue
+                key = (self.gap_seconds.get(host.name, 0.0), host.name)
+                if best_key is None or key < best_key:
+                    best, best_key = host, key
+            return best
         for host in self._hosts_sorted:
             if self.is_idle(host):
                 return host
@@ -347,8 +379,19 @@ class Cluster:
         t_done, proc = self._next_completion()
         t_owner = self._next_owner_transition()
         if t_owner < t_done - _EPS:
+            old_now = self.clock.now
             self.clock.advance_to(t_owner)
             self._charge_elapsed()
+            if TRACER.enabled:
+                # Record which consoles changed hands: trace replay needs
+                # owner windows to tell an *available* idle host from one
+                # whose owner is at the keyboard (scheduler-gap detection),
+                # and to see hosts that never ran a process at all.
+                for host in self._hosts_sorted:
+                    busy = host.is_owner_busy(self.clock.now)
+                    if busy != host.is_owner_busy(old_now):
+                        TRACER.event("cluster.owner", cat="cluster",
+                                     host=host.name, busy=busy)
             self._evict()
             if self.remigration:
                 self.remigrate()

@@ -47,6 +47,11 @@ class TaskManager:
         self.on_restart = on_restart
         self.max_restarts = max_restarts
         self.executions: list[TaskExecution] = []
+        #: Optional ``repro.obs.health.HealthMonitor``: when attached (via
+        #: ``monitor.attach_taskmgr(self)``) every task commit triggers an
+        #: alert-rule evaluation, so regressions surface at the history
+        #: boundary and not only on the clock-advance throttle.
+        self.health = None
 
     def run_task(
         self,
@@ -119,6 +124,8 @@ class TaskManager:
                          steps=len(record.steps),
                          outputs=list(record.outputs),
                          instance=execution.instance)
+        if self.health is not None:
+            self.health.evaluate(reason="commit")
 
     def run_concurrent(
         self,

@@ -1,0 +1,600 @@
+"""Tests for ``repro.obs.health``: the alert-rule engine (firing/clearing
+under the virtual clock, trace-derived signals, task-commit hook), metrics
+snapshot diffing, the baseline-backed perf regression gate and its CLI, and
+the satellite fixes that feed them (histogram quantiles on degenerate
+series, the bounded derivation cache, gap-aware placement)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import obs
+from repro.cad import default_registry
+from repro.clock import VirtualClock
+from repro.core.memo import DerivationCache, MemoEntry
+from repro.obs.health import (
+    AlertRule,
+    HealthError,
+    HealthMonitor,
+    MetricDelta,
+    default_ruleset,
+    diff_metrics,
+    gate,
+    load_snapshot,
+    main,
+    render_metrics_diff,
+    resolve_path,
+    write_snapshot,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.octdb import DesignDatabase
+from repro.sprite import Cluster
+from repro.sprite.host import OwnerSchedule, Workstation
+from repro.taskmgr import TaskManager
+from repro.taskmgr.attrdb import AttributeDatabase, standard_computers
+from repro.workloads import seed_designs, standard_library
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+@pytest.fixture
+def tracer(clock: VirtualClock) -> Tracer:
+    return Tracer(clock=clock, enabled=True)
+
+
+def monitor_for(rules, registry, tracer, clock) -> HealthMonitor:
+    monitor = HealthMonitor(rules=rules, registry=registry, tracer=tracer)
+    monitor.clock = clock
+    return monitor
+
+
+# ------------------------------------------------------------- rule engine
+
+
+class TestRuleEngine:
+    def test_missing_metric_skips_not_fires(self, registry, tracer, clock):
+        monitor = monitor_for([AlertRule("r", "metric:nothing", 0, ">=")],
+                              registry, tracer, clock)
+        summary = monitor.evaluate()
+        assert summary["status"] == "ok"
+        assert summary["skipped"] == ["r"]
+        # value() would have said 0.0 and ">= 0" would have fired — the
+        # engine must distinguish missing from zero.
+        assert not summary["firing"]
+
+    def test_fire_and_clear_transitions_under_clock(self, registry, tracer,
+                                                    clock):
+        monitor = monitor_for(
+            [AlertRule("depth", "metric:queue_depth", 5, ">", "crit")],
+            registry, tracer, clock)
+        monitor.attach_clock(clock, interval=10.0)
+        gauge = registry.gauge("queue_depth")
+
+        gauge.set(3)
+        clock.advance(10)                 # evaluation: below threshold
+        gauge.set(9)
+        clock.advance(10)                 # evaluation: fires
+        gauge.set(0)
+        clock.advance(10)                 # evaluation: clears
+
+        health_events = [(e["name"], e["args"]["rule"]) for e in tracer.events
+                         if e.get("cat") == "health"]
+        assert health_events == [("alert.fired", "depth"),
+                                 ("alert.cleared", "depth")]
+        fired = [e for e in tracer.events if e["name"] == "alert.fired"]
+        assert fired[0]["args"]["severity"] == "crit"
+        assert fired[0]["args"]["value"] == 9.0
+        assert fired[0]["ts"] == 20.0     # virtual-clock timestamps
+        assert monitor.last["status"] == "ok"
+        assert obs.METRICS.gauge("health.status").value == 0
+
+    def test_sustained_firing_emits_once(self, registry, tracer, clock):
+        monitor = monitor_for([AlertRule("r", "metric:x", 1, ">")],
+                              registry, tracer, clock)
+        registry.counter("x").inc(5)
+        for _ in range(3):
+            summary = monitor.evaluate()
+        assert summary["status"] == "warn"
+        assert len([e for e in tracer.events
+                    if e["name"] == "alert.fired"]) == 1
+
+    def test_rate_signal_is_per_virtual_second(self, registry, tracer,
+                                               clock):
+        monitor = monitor_for(
+            [AlertRule("churn", "rate:cluster.evictions", 0.5, ">")],
+            registry, tracer, clock)
+        counter = registry.counter("cluster.evictions")
+        counter.inc(10)
+        first = monitor.evaluate()        # no earlier sample: skipped
+        assert first["skipped"] == ["churn"]
+        clock.advance(10)
+        counter.inc(10)                   # 10 evictions / 10 s = 1.0/s
+        second = monitor.evaluate()
+        assert second["firing"][0]["value"] == pytest.approx(1.0)
+        clock.advance(100)                # 0 evictions / 100 s
+        assert monitor.evaluate()["status"] == "ok"
+
+    def test_frac_signal_with_min_denominator(self, registry, tracer, clock):
+        monitor = monitor_for(
+            [AlertRule("hit", "frac:memo.hits/memo.misses", 0.5, "<",
+                       min_denominator=8)],
+            registry, tracer, clock)
+        registry.counter("memo.hits").inc(1)
+        registry.counter("memo.misses").inc(2)
+        # 3 samples < min_denominator 8: not evaluable yet.
+        assert monitor.evaluate()["skipped"] == ["hit"]
+        registry.counter("memo.misses").inc(7)
+        summary = monitor.evaluate()      # 1 hit / 10 -> fires (< 0.5)
+        assert summary["firing"][0]["value"] == pytest.approx(0.1)
+
+    def test_quantile_signal_merges_label_sets(self, registry, tracer,
+                                               clock):
+        monitor = monitor_for(
+            [AlertRule("tail", "quantile:step.latency:0.99", 50, ">")],
+            registry, tracer, clock)
+        registry.histogram("step.latency", tool="fast").observe(1.0)
+        assert monitor.evaluate()["status"] == "ok"
+        for _ in range(30):
+            registry.histogram("step.latency", tool="slow").observe(3000.0)
+        summary = monitor.evaluate()
+        assert summary["firing"][0]["value"] > 50
+
+    def test_default_ruleset_is_wellformed(self, registry, tracer, clock):
+        monitor = monitor_for(default_ruleset(), registry, tracer, clock)
+        summary = monitor.evaluate()
+        # Nothing recorded anywhere: every rule either skips or stays ok.
+        assert summary["status"] == "ok"
+        names = {rule.name for rule in monitor.rules}
+        assert {"scheduler_gap", "memo_hit_rate", "eviction_churn",
+                "trace_dropped"} <= names
+
+    def test_bad_rule_and_signal_rejected(self, registry, tracer, clock):
+        with pytest.raises(HealthError):
+            AlertRule("r", "metric:x", 1, op="!=")
+        with pytest.raises(HealthError):
+            AlertRule("r", "metric:x", 1, severity="fatal")
+        monitor = monitor_for([AlertRule("r", "wat:x", 1)],
+                              registry, tracer, clock)
+        with pytest.raises(HealthError):
+            monitor.evaluate()
+
+
+class TestTraceSignals:
+    def test_induced_stall_fires_scheduler_gap(self, clock):
+        """The acceptance scenario: owner at the console through dispatch,
+        re-migration off — ws01 idles while home timeshares, the default
+        scheduler_gap rule fires, and the per-host seconds are pushed back
+        into the cluster."""
+        hosts = [Workstation("home"),
+                 Workstation("ws01",
+                             schedule=OwnerSchedule(period=40, busy=20))]
+        cluster = Cluster(hosts, clock=clock, remigration=False)
+        obs.TRACER.clear()
+        obs.TRACER.enable(clock=clock)
+        try:
+            monitor = HealthMonitor()     # default ruleset, global tracer
+            monitor.attach_cluster(cluster)
+            for i in range(4):
+                cluster.submit(f"job{i}", work=10.0)
+            cluster.drain()
+            summary = monitor.evaluate(reason="drain")
+        finally:
+            obs.TRACER.disable()
+            obs.TRACER.clear()
+        assert clock.now == 40.0
+        firing = {f["rule"]: f for f in summary["firing"]}
+        assert "scheduler_gap" in firing
+        assert firing["scheduler_gap"]["value"] == pytest.approx(20.0)
+        # feedback push: the idle host carries the gap history
+        assert cluster.gap_seconds == {"ws01": pytest.approx(20.0)}
+
+    def test_gap_window_ages_out_old_gaps(self, clock):
+        hosts = [Workstation("home"),
+                 Workstation("ws01",
+                             schedule=OwnerSchedule(period=40, busy=20))]
+        cluster = Cluster(hosts, clock=clock, remigration=False)
+        obs.TRACER.clear()
+        obs.TRACER.enable(clock=clock)
+        try:
+            monitor = HealthMonitor(gap_window=30.0)
+            monitor.attach_cluster(cluster)
+            for i in range(4):
+                cluster.submit(f"job{i}", work=10.0)
+            cluster.drain()               # gap [20, 40]
+            clock.advance(60)             # now=100: gap left the window
+            total, per_host = monitor.gap_signals()
+        finally:
+            obs.TRACER.disable()
+            obs.TRACER.clear()
+        assert total == 0.0
+        assert per_host == {}
+
+    def test_commit_hook_evaluates(self, tracer):
+        clk = VirtualClock()
+        db = DesignDatabase(clock=clk)
+        seed = seed_designs(db)
+        tm = TaskManager(db, default_registry(), standard_library(),
+                         cluster=Cluster.homogeneous(4, clock=clk),
+                         attrdb=standard_computers(AttributeDatabase(db)),
+                         clock=clk)
+        monitor = HealthMonitor(tracer=tracer)
+        monitor.attach_taskmgr(tm)
+        assert tm.health is monitor
+        evaluations = obs.METRICS.counter("health.evaluations").value
+        tm.run_task("Padp", inputs={"Incell": seed["shifter.net"]},
+                    outputs={"Outcell": "sh.pad"})
+        assert obs.METRICS.counter("health.evaluations").value > evaluations
+        assert monitor.last["reason"] == "commit"
+
+
+# ------------------------------------------------------- snapshot diffing
+
+
+SNAP_A = {
+    "memo.hits": 4.0,
+    "cluster.evictions": 2.0,
+    "gone.next_run": 1.0,
+    "step.latency{tool=a}": {"count": 3, "sum": 30.0, "mean": 10.0,
+                             "min": 5.0, "max": 15.0, "buckets": {}},
+}
+SNAP_B = {
+    "memo.hits": 9.0,
+    "cluster.evictions": 2.0,
+    "new.this_run": 7.0,
+    "step.latency{tool=a}": {"count": 5, "sum": 80.0, "mean": 16.0,
+                             "min": 5.0, "max": 40.0, "buckets": {}},
+}
+
+
+class TestDiffMetrics:
+    def test_added_removed_changed(self):
+        deltas = {d.key: d for d in diff_metrics(SNAP_A, SNAP_B)}
+        assert deltas["new.this_run"].kind == "added"
+        assert deltas["new.this_run"].b == 7.0
+        assert deltas["gone.next_run"].kind == "removed"
+        assert deltas["memo.hits"].delta == 5.0
+        assert deltas["memo.hits"].ratio == pytest.approx(1.25)
+        # unchanged series are not reported
+        assert "cluster.evictions" not in deltas
+        # histograms compare facet-wise
+        assert deltas["step.latency{tool=a}#count"].delta == 2
+        assert deltas["step.latency{tool=a}#max"].b == 40.0
+        assert "step.latency{tool=a}#min" not in deltas
+
+    def test_thresholds_filter_small_changes(self):
+        a, b = {"x": 100.0, "y": 100.0}, {"x": 104.0, "y": 150.0}
+        kept = diff_metrics(a, b, ratio_threshold=0.10)
+        assert [d.key for d in kept] == ["y"]
+        kept = diff_metrics(a, b, abs_threshold=10.0)
+        assert [d.key for d in kept] == ["y"]
+        # a zero old value is always reported (new activity)...
+        assert [d.key for d in
+                diff_metrics({"z": 0.0}, {"z": 1.0}, ratio_threshold=9.9)] \
+            == ["z"]
+        # ...unless the absolute threshold swallows it
+        assert diff_metrics({"z": 0.0}, {"z": 1.0}, abs_threshold=2.0) == []
+
+    def test_render_and_empty(self):
+        assert render_metrics_diff([]) == ["no metric deltas"]
+        lines = "\n".join(render_metrics_diff(diff_metrics(SNAP_A, SNAP_B)))
+        assert "+ new.this_run" in lines
+        assert "- gone.next_run" in lines
+        assert "~ memo.hits  4 -> 9" in lines
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.dictionaries(
+        st.text(st.characters(min_codepoint=33, max_codepoint=126),
+                min_size=1, max_size=12),
+        st.one_of(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            st.fixed_dictionaries({
+                "count": st.integers(0, 1000),
+                "sum": st.floats(allow_nan=False, allow_infinity=False,
+                                 width=32),
+            })),
+        max_size=8))
+    def test_self_diff_is_always_empty(self, snapshot):
+        assert diff_metrics(snapshot, snapshot) == []
+
+    def test_snapshot_roundtrip(self, registry, tmp_path):
+        registry.counter("a.b").inc(3)
+        registry.histogram("h").observe(2.0)
+        path = tmp_path / "snap.json"
+        write_snapshot(str(path), registry)
+        loaded = load_snapshot(str(path))
+        assert diff_metrics(registry.snapshot(), loaded) == []
+        # BENCH-shaped and bare mappings load identically
+        bare = tmp_path / "bare.json"
+        bare.write_text(json.dumps(registry.snapshot()))
+        assert load_snapshot(str(bare)) == loaded
+
+    def test_live_registry_diff(self, registry):
+        before = registry.snapshot()
+        registry.counter("memo.hits").inc(2)
+        registry.gauge("memo.size").set(5)
+        deltas = diff_metrics(before, registry.snapshot())
+        assert {d.key for d in deltas} == {"memo.hits", "memo.size"}
+        assert all(d.kind == "added" for d in deltas)
+
+
+# --------------------------------------------------------------- the gate
+
+
+BENCH_DOC = {
+    "bench": "fig37_rework_memo",
+    "meta": {"schema": 2, "hosts": 4},
+    "metrics": {"memo.hits": 5.0, "memo.evictions": 0.0},
+    "profile": {"scheduler_gap_seconds": 0.0,
+                "critical_path": {"makespan_seconds": 24.4,
+                                  "overhead_fraction": 0.05}},
+    "rework": {"cold_makespan_seconds": 24.4,
+               "warm_makespan_seconds": 2.4, "reused_fraction": 0.83},
+}
+
+
+class TestGate:
+    def test_dotted_paths_resolve_through_metric_keys(self):
+        assert resolve_path(BENCH_DOC, "metrics.memo.hits") == 5.0
+        assert resolve_path(
+            BENCH_DOC, "profile.critical_path.makespan_seconds") == 24.4
+        with pytest.raises(KeyError):
+            resolve_path(BENCH_DOC, "metrics.memo.nope")
+
+    def test_pass_within_tolerance(self):
+        baseline = {
+            "meta": {"hosts": 4},
+            "checks": {
+                "rework.cold_makespan_seconds":
+                    {"value": 24.0, "direction": "lower", "tolerance": 0.10},
+                "rework.reused_fraction":
+                    {"value": 0.85, "direction": "higher",
+                     "tolerance": 0.05},
+                "profile.scheduler_gap_seconds": {"max": 5.0},
+                "metrics.memo.hits": {"min": 1},
+            },
+        }
+        lines, ok = gate(BENCH_DOC, baseline)
+        assert ok, lines
+        assert lines[-1] == "gate: PASS"
+
+    def test_tightened_baseline_fails(self):
+        baseline = {"checks": {
+            "rework.cold_makespan_seconds":
+                {"value": 20.0, "direction": "lower", "tolerance": 0.05}}}
+        lines, ok = gate(BENCH_DOC, baseline)
+        assert not ok
+        assert any("FAIL rework.cold_makespan_seconds" in l for l in lines)
+        assert lines[-1] == "gate: REGRESSION DETECTED"
+
+    def test_missing_path_and_meta_mismatch_fail(self):
+        baseline = {"meta": {"hosts": 8},
+                    "checks": {"rework.vanished": {"max": 1}}}
+        lines, ok = gate(BENCH_DOC, baseline)
+        assert not ok
+        text = "\n".join(lines)
+        assert "meta.hosts" in text
+        assert "missing from the benchmark output" in text
+        # an empty checks block can never pass
+        assert not gate(BENCH_DOC, {"checks": {}})[1]
+
+    def test_direction_higher_catches_drop(self):
+        baseline = {"checks": {
+            "rework.reused_fraction":
+                {"value": 0.95, "direction": "higher", "tolerance": 0.02}}}
+        assert not gate(BENCH_DOC, baseline)[1]
+
+
+class TestCli:
+    def write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_gate_exit_codes(self, tmp_path, capsys):
+        bench = self.write(tmp_path, "BENCH_x.json", BENCH_DOC)
+        good = self.write(tmp_path, "good.json", {"checks": {
+            "rework.cold_makespan_seconds":
+                {"value": 24.4, "direction": "lower", "tolerance": 0.10}}})
+        # a baseline whose makespan was tightened below the observed run
+        tight = self.write(tmp_path, "tight.json", {"checks": {
+            "rework.cold_makespan_seconds":
+                {"value": 10.0, "direction": "lower", "tolerance": 0.10}}})
+        assert main(["gate", bench, "--baseline", good]) == 0
+        assert "PASS" in capsys.readouterr().out
+        assert main(["gate", bench, "--baseline", tight]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+        assert main(["gate", bench, "--baseline",
+                     str(tmp_path / "absent.json")]) == 2
+
+    def test_diff_cli(self, tmp_path, capsys):
+        a = self.write(tmp_path, "a.json", {"metrics": SNAP_A})
+        b = self.write(tmp_path, "b.json", {"metrics": SNAP_B})
+        assert main(["diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "+ new.this_run" in out and "~ memo.hits" in out
+        assert main(["diff", a, b, "--ratio", "99"]) == 0
+        out = capsys.readouterr().out
+        assert "memo.hits" not in out      # filtered; added/removed remain
+        assert main(["rules"]) == 0
+        assert "scheduler_gap" in capsys.readouterr().out
+        assert main([]) == 2
+        assert main(["diff", a]) == 2
+
+    def test_shell_health_and_trace_diff_metrics(self, tmp_path):
+        from repro.cli import Shell
+
+        shell = Shell()
+        out = "\n".join(shell.execute("health"))
+        assert "health: ok" in out
+        out = "\n".join(shell.execute("health rules"))
+        assert "scheduler_gap" in out
+        a = self.write(tmp_path, "a.json", {"metrics": SNAP_A})
+        b = self.write(tmp_path, "b.json", {"metrics": SNAP_B})
+        out = "\n".join(shell.execute(f"trace diff --metrics {a} {b}"))
+        assert "+ new.this_run" in out
+        out = "\n".join(shell.execute(f"health diff {a} {b}"))
+        assert "+ new.this_run" in out
+        bench = self.write(tmp_path, "BENCH_x.json", BENCH_DOC)
+        tight = self.write(tmp_path, "tight.json", {"checks": {
+            "rework.cold_makespan_seconds":
+                {"value": 10.0, "direction": "lower"}}})
+        out = "\n".join(shell.execute(f"health gate {bench} {tight}"))
+        assert "REGRESSION DETECTED" in out
+
+
+# ----------------------------------------------- satellite: quantile fixes
+
+
+class TestHistogramQuantile:
+    def test_empty_series_is_none(self, registry):
+        h = registry.histogram("empty")
+        assert h.quantile(0.5) is None
+        assert h.quantile(0.0) is None
+
+    def test_single_sample_every_quantile_is_the_sample(self, registry):
+        h = registry.histogram("one")
+        h.observe(7.5)
+        for q in (0.0, 0.01, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(7.5)
+
+    def test_quantiles_are_monotone_and_clamped(self, registry):
+        h = registry.histogram("spread")
+        for value in (0.5, 2.0, 30.0, 300.0, 3000.0):
+            h.observe(value)
+        quantiles = [h.quantile(q) for q in (0.1, 0.5, 0.9, 1.0)]
+        assert quantiles == sorted(quantiles)
+        assert h.min <= quantiles[0]
+        assert quantiles[-1] <= h.max
+
+    def test_invalid_q_raises(self, registry):
+        from repro.obs.metrics import MetricError
+
+        h = registry.histogram("x")
+        h.observe(1.0)
+        with pytest.raises(MetricError):
+            h.quantile(1.5)
+
+
+# ---------------------------------------------- satellite: bounded memo
+
+
+class TestMemoBound:
+    def key(self, i: int):
+        return (f"tool{i}", (), (f"fp{i}",))
+
+    def entry(self, i: int) -> MemoEntry:
+        return MemoEntry(tool=f"tool{i}", outputs=())
+
+    def test_lru_eviction_and_metrics(self, db):
+        evictions = obs.METRICS.counter("memo.evictions").value
+        size = obs.METRICS.gauge("memo.size").value
+        cache = DerivationCache(max_entries=2)
+        cache.store(self.key(1), self.entry(1))
+        cache.store(self.key(2), self.entry(2))
+        assert obs.METRICS.gauge("memo.size").value == size + 2
+        cache.store(self.key(3), self.entry(3))      # evicts key 1
+        assert len(cache) == 2
+        assert obs.METRICS.counter("memo.evictions").value == evictions + 1
+        assert obs.METRICS.gauge("memo.size").value == size + 2
+        assert cache.lookup(self.key(1), db) is None
+        assert cache.lookup(self.key(3), db) is not None
+
+    def test_hit_refreshes_recency(self, db):
+        cache = DerivationCache(max_entries=2)
+        cache.store(self.key(1), self.entry(1))
+        cache.store(self.key(2), self.entry(2))
+        assert cache.lookup(self.key(1), db) is not None   # 1 is now hot
+        cache.store(self.key(3), self.entry(3))            # evicts 2, not 1
+        assert cache.lookup(self.key(1), db) is not None
+        assert cache.lookup(self.key(2), db) is None
+
+    def test_overwrite_does_not_evict(self, db):
+        cache = DerivationCache(max_entries=2)
+        cache.store(self.key(1), self.entry(1))
+        cache.store(self.key(2), self.entry(2))
+        cache.store(self.key(1), self.entry(1))            # refresh, no growth
+        assert len(cache) == 2
+        cache.store(self.key(3), self.entry(3))            # evicts 2
+        assert cache.lookup(self.key(1), db) is not None
+        assert cache.lookup(self.key(2), db) is None
+
+    def test_unbounded_cache_never_evicts(self, db):
+        evictions = obs.METRICS.counter("memo.evictions").value
+        cache = DerivationCache(max_entries=None)
+        for i in range(100):
+            cache.store(self.key(i), self.entry(i))
+        assert len(cache) == 100
+        assert obs.METRICS.counter("memo.evictions").value == evictions
+
+
+# ------------------------------------- satellite: clock.every + placement
+
+
+class TestClockEvery:
+    def test_throttled_callback(self, clock):
+        calls = []
+        clock.every(5.0, calls.append)
+        clock.advance(3)                  # below interval
+        assert calls == []
+        clock.advance(3)                  # crosses 5 -> fires at 6
+        assert calls == [6.0]
+        clock.advance(20)                 # one big jump: one call, not four
+        assert calls == [6.0, 26.0]
+        clock.advance(4)                  # re-armed from 26: due at 31
+        assert calls == [6.0, 26.0]
+
+    def test_unsubscribe_and_validation(self, clock):
+        calls = []
+        observer = clock.every(1.0, calls.append)
+        clock.advance(2)
+        clock.on_advance.remove(observer)
+        clock.advance(5)
+        assert calls == [2.0]
+        with pytest.raises(ValueError):
+            clock.every(0, calls.append)
+
+
+class TestGapAwarePlacement:
+    def hosts(self):
+        return [Workstation("home"), Workstation("ws01"),
+                Workstation("ws02")]
+
+    def test_prefers_host_with_least_gap_history(self, clock):
+        cluster = Cluster(self.hosts(), clock=clock, gap_feedback=True)
+        cluster.note_gap_seconds({"ws01": 12.0, "ws02": 1.0})
+        assert cluster.find_idle_host().name == "ws02"
+        cluster.note_gap_seconds({"ws01": 0.5, "ws02": 3.0})
+        assert cluster.find_idle_host().name == "ws01"
+
+    def test_flag_off_or_no_history_keeps_name_order(self, clock):
+        cluster = Cluster(self.hosts(), clock=clock, gap_feedback=False)
+        cluster.note_gap_seconds({"ws01": 12.0})
+        assert cluster.find_idle_host().name == "ws01"
+        enabled = Cluster(self.hosts(), clock=clock, gap_feedback=True)
+        assert enabled.find_idle_host().name == "ws01"   # nothing pushed
+
+    def test_busy_hosts_are_never_candidates(self, clock):
+        cluster = Cluster(self.hosts(), clock=clock, gap_feedback=True)
+        cluster.note_gap_seconds({"ws01": 9.0, "ws02": 1.0})
+        cluster.submit("pin", work=100.0)                # lands on ws02
+        assert cluster.find_idle_host().name == "ws01"
+
+
+# -------------------------------------------------- MetricDelta mechanics
+
+
+class TestMetricDelta:
+    def test_derived_fields(self):
+        changed = MetricDelta("k", "changed", a=4.0, b=9.0)
+        assert changed.delta == 5.0
+        assert changed.ratio == pytest.approx(1.25)
+        assert MetricDelta("k", "changed", a=0.0, b=2.0).ratio is None
+        added = MetricDelta("k", "added", b=1.0)
+        assert added.delta is None and added.ratio is None
