@@ -12,6 +12,7 @@ query latency over the accumulated objects.  All must stay roughly flat.
 from __future__ import annotations
 
 import time
+from pathlib import Path
 
 from benchmarks.common import (banner, export_observability, note_run_meta,
                                table, trace_out)
@@ -174,7 +175,8 @@ def test_rework_ping_pong_cache(benchmark):
     export_observability("scale_rework", {"rows": results})
 
 
-def measure_stall(jobs: int = 4, work: float = 10.0) -> dict:
+def measure_stall(jobs: int = 4, work: float = 10.0,
+                  rules_path: str | None = None) -> dict:
     """Induced host stall: the canonical scheduler gap, deterministically.
 
     One colleague workstation (ws01) whose owner sits at the console
@@ -184,6 +186,13 @@ def measure_stall(jobs: int = 4, work: float = 10.0) -> dict:
     virtual seconds of scheduler gap on a 40-second makespan.  The default
     ``scheduler_gap`` rule (>10s) must fire, and the per-host gap seconds
     must land in ``cluster.gap_seconds`` via the monitor's feedback push.
+
+    With ``rules_path`` the monitor is built from that site ruleset file
+    (``HealthMonitor.from_config``), which also attaches the windowed SLO
+    engine: the run is driven in ``work/2`` virtual-second slices
+    (``cluster.run_until``) so the engine samples a dense budget
+    trajectory, and the result carries the firing burn alerts plus the
+    ``scheduler_gap`` objective's budget samples.
 
     Clears the global trace buffer (the gap signal is derived from this
     run's ``cluster.*`` events alone).
@@ -200,17 +209,20 @@ def measure_stall(jobs: int = 4, work: float = 10.0) -> dict:
     was_enabled = obs.TRACER.enabled
     obs.TRACER.clear()
     obs.TRACER.enable(clock=clock)
-    monitor = HealthMonitor()
+    monitor = (HealthMonitor.from_config(rules_path) if rules_path
+               else HealthMonitor())
     monitor.attach_clock(clock, interval=work / 2)
     monitor.attach_cluster(cluster)
     for i in range(jobs):
         cluster.submit(f"stall{i}", work=work)
-    cluster.drain()
+    # Fixed-cadence drive: one clock advance per work/2 virtual seconds,
+    # so the throttled monitor (and the SLO engine's sampler) observes the
+    # stall as it develops rather than only at event boundaries.
+    while cluster.running():
+        cluster.run_until(clock.now + work / 2)
     summary = monitor.evaluate(reason="drain")
     gap_total, gap_by_host = monitor.gap_signals()
-    if not was_enabled:
-        obs.TRACER.disable()
-    return {
+    result = {
         "jobs": jobs,
         "work_seconds": work,
         "makespan_seconds": clock.now,
@@ -220,6 +232,24 @@ def measure_stall(jobs: int = 4, work: float = 10.0) -> dict:
         "health": summary["status"],
         "pushed_gap_seconds": dict(cluster.gap_seconds),
     }
+    engine = monitor.slo_engine
+    if engine is not None:
+        slo_alerts = sorted(a for a in result["alerts"]
+                            if a.startswith("slo:"))
+        samples = [(round(ts, 3), round(budget, 6))
+                   for ts, budget in engine.history.get("scheduler_gap", [])]
+        monotonic = all(b2 <= b1 + 1e-9 for (_, b1), (_, b2)
+                        in zip(samples, samples[1:]))
+        result.update({
+            "slo_alerts": slo_alerts,
+            "slo_alert_count": len(slo_alerts),
+            "slo_budget_remaining": samples[-1][1] if samples else None,
+            "budget_monotonic": 1.0 if monotonic else 0.0,
+            "budget_samples": [list(sample) for sample in samples],
+        })
+    if not was_enabled:
+        obs.TRACER.disable()
+    return result
 
 
 def check_stall(result: dict) -> None:
@@ -228,10 +258,23 @@ def check_stall(result: dict) -> None:
         f"scheduler_gap did not fire: {result}")
     assert result["gap_seconds"] > 10, result
     assert result["pushed_gap_seconds"].get("ws01", 0.0) > 10, result
+    if "slo_alerts" in result:
+        # The config-loaded objective must burn: a firing slo:* rule, a
+        # spent (negative) budget, and a monotonically non-increasing
+        # budget trajectory while the stall develops.
+        assert result["slo_alert_count"] >= 1, result
+        assert result["slo_budget_remaining"] is not None, result
+        assert result["slo_budget_remaining"] < 0, result
+        assert result["budget_monotonic"] == 1.0, result
+        assert len(result["budget_samples"]) >= 4, result
+
+
+SITE_RULESET = str(Path(__file__).parent / "rulesets" / "site.json")
 
 
 def test_scale_induced_stall_alert(benchmark):
-    result = benchmark.pedantic(measure_stall, rounds=1, iterations=1)
+    result = benchmark.pedantic(measure_stall, rounds=1, iterations=1,
+                                kwargs={"rules_path": SITE_RULESET})
 
     banner("E-SCALE — induced host stall trips the scheduler_gap alert")
     table(
@@ -245,6 +288,9 @@ def test_scale_induced_stall_alert(benchmark):
     # at t=40; the owner leaves ws01 at t=20 -> a 20-second gap.
     assert result["makespan_seconds"] == 40.0
     assert abs(result["gap_seconds"] - 20.0) < 1e-6
+    # ... and so is the SLO math: the scheduler_gap objective (25% budget)
+    # ends the run having burned 20/35 of the post-first-sample span.
+    assert abs(result["slo_budget_remaining"] - (1 - (20 / 35) / 0.25)) < 1e-4
     export_observability("scale_stall", {"stall": result})
 
 
@@ -268,14 +314,18 @@ if __name__ == "__main__":
     print("cache smoke OK")
     if path:
         export_observability("scale_smoke", {"rows": result})
-    # Health smoke: the induced-stall scenario must trip the default
-    # scheduler_gap rule (runs after the export above — it clears the
-    # trace buffer and re-points the tracer at its own clock).
-    stall = measure_stall()
+    # Health + SLO smoke: the induced-stall scenario must trip the
+    # site-ruleset scheduler_gap rule AND burn the scheduler_gap
+    # objective's error budget (runs after the export above — it clears
+    # the trace buffer and re-points the tracer at its own clock).
+    stall = measure_stall(rules_path=SITE_RULESET)
     print(f"stall: makespan {stall['makespan_seconds']:.1f}s, "
           f"scheduler gap {stall['gap_seconds']:.1f}s, "
           f"health={stall['health']}, alerts={','.join(stall['alerts'])}")
+    print(f"slo: {','.join(stall['slo_alerts'])} firing, "
+          f"budget_remaining={stall['slo_budget_remaining']:.3f}, "
+          f"samples={len(stall['budget_samples'])}")
     check_stall(stall)
-    print("stall alert smoke OK")
+    print("stall alert + SLO burn smoke OK")
     if path:
         export_observability("scale_stall", {"stall": stall})

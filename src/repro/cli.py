@@ -80,6 +80,7 @@ class Shell:
             "reclaim": self._cmd_reclaim,
             "trace": self._cmd_trace,
             "health": self._cmd_health,
+            "top": self._cmd_top,
             "stats": self._cmd_stats,
             "spans": self._cmd_spans,
             "advance": self._cmd_advance,
@@ -151,9 +152,13 @@ class Shell:
             "trace diff <a.jsonl> <b.jsonl>": "compare two runs' span trees",
             "trace diff --metrics <a.json> <b.json>": "diff metric snapshots",
             "trace flame [path] [width]": "merge critical paths by step name",
-            "health [rules]": "evaluate live alert rules (ok/warn/crit)",
+            "health [--rules site.json] [rules|slos]":
+                "evaluate alert rules + SLO burn rates (ok/warn/crit)",
             "health diff <a.json> <b.json>": "diff two metrics snapshots",
             "health gate <BENCH.json> <baseline.json>": "perf regression gate",
+            "health bands <baseline> <BENCH>... [--write]":
+                "regenerate gate bands from trailing green runs",
+            "top": "live operational console (health, SLO budgets, hosts)",
             "stats": "print the metrics registry snapshot",
             "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
@@ -398,32 +403,53 @@ class Shell:
         for line in health.render_metrics_diff(deltas):
             self._print(line)
 
-    def _health_monitor(self):
+    def _health_monitor(self, rules_path: str | None = None):
         """The installation's monitor, wired on first use: clock-throttled
-        re-evaluation plus an evaluation at every task commit."""
-        from repro.obs.health import HealthMonitor
+        re-evaluation, an evaluation at every task commit, and a default
+        SLO engine.  ``rules_path`` replaces the monitor with one built
+        from a site ruleset file (the previous clock observer is
+        cancelled so only one monitor evaluates)."""
+        from repro.obs import health
 
-        if self._health is None:
-            monitor = HealthMonitor()
-            monitor.attach_clock(self.papyrus.clock)
-            monitor.attach_taskmgr(self.papyrus.taskmgr)
-            self._health = monitor
+        if rules_path is not None:
+            if self._health is not None:
+                self._health.detach()
+            try:
+                monitor = health.HealthMonitor.from_config(rules_path)
+            except health.HealthError as exc:
+                raise ShellError(str(exc))
+        elif self._health is None:
+            monitor = health.HealthMonitor()
+            monitor.attach_slos()
+        else:
+            return self._health
+        monitor.attach_clock(self.papyrus.clock)
+        monitor.attach_taskmgr(self.papyrus.taskmgr)
+        self._health = monitor
         return self._health
 
     def _cmd_health(self, args: list[str]) -> None:
-        usage = ("usage: health | health rules | "
-                 "health diff <a.json> <b.json> | "
-                 "health gate <BENCH.json> <baseline.json>")
+        usage = ("usage: health [--rules site.json] | health rules | "
+                 "health slos | health diff <a.json> <b.json> | "
+                 "health gate <BENCH.json> <baseline.json> | "
+                 "health bands <baseline.json> <BENCH.json>... [--write]")
         from repro.obs import health
 
+        rules_path = None
+        if "--rules" in args:
+            index = args.index("--rules")
+            if index + 1 >= len(args):
+                raise ShellError(usage)
+            rules_path = args[index + 1]
+            args = args[:index] + args[index + 2:]
         action = args[0] if args else "summary"
         if action == "summary":
-            monitor = self._health_monitor()
+            monitor = self._health_monitor(rules_path)
             monitor.evaluate(reason="shell")
             for line in monitor.render():
                 self._print(line)
         elif action == "rules":
-            monitor = self._health_monitor()
+            monitor = self._health_monitor(rules_path)
             for rule in monitor.rules:
                 state = ("FIRING" if monitor.firing.get(rule.name)
                          else "ok")
@@ -431,6 +457,22 @@ class Shell:
                     f"  {rule.name:<20} [{rule.severity:<4}] "
                     f"{rule.signal} {rule.op} {rule.threshold:g}  "
                     f"({state})")
+        elif action == "slos":
+            monitor = self._health_monitor(rules_path)
+            engine = monitor.slo_engine
+            if engine is None:
+                self._print("no SLO engine attached")
+                return
+            monitor.evaluate(reason="shell")
+            for slo in engine.slos:
+                state = engine.state.get(slo.name, {})
+                budget = state.get("budget")
+                budget_text = ("n/a" if budget is None
+                               else f"{budget:.1%} budget left")
+                windows = " ".join(f"{w.label}x{w.factor:g}"
+                                   for w in slo.windows)
+                self._print(f"  {slo.name:<22} obj {slo.objective:.0%}  "
+                            f"{budget_text}  ({windows})")
         elif action == "diff":
             self._metrics_diff(args[1:])
         elif action == "gate":
@@ -442,8 +484,41 @@ class Shell:
                 raise ShellError(f"cannot gate: {exc}")
             for line in lines:
                 self._print(line)
+        elif action == "bands":
+            import json as _json
+
+            write = "--write" in args
+            files = [a for a in args[1:] if a != "--write"]
+            if len(files) < 2:
+                raise ShellError(usage)
+            try:
+                with open(files[0], "r", encoding="utf-8") as fh:
+                    baseline = _json.load(fh)
+                runs = []
+                for run_path in files[1:]:
+                    with open(run_path, "r", encoding="utf-8") as fh:
+                        runs.append(_json.load(fh))
+                regenerated = health.regenerate_bands(baseline, runs)
+            except (OSError, ValueError, health.HealthError) as exc:
+                raise ShellError(f"cannot regenerate bands: {exc}")
+            rendered = _json.dumps(regenerated, indent=2, sort_keys=True)
+            if write:
+                with open(files[0], "w", encoding="utf-8") as fh:
+                    fh.write(rendered + "\n")
+                self._print(f"bands: rewrote {files[0]} from "
+                            f"{len(runs)} run(s)")
+            else:
+                for line in rendered.splitlines():
+                    self._print(line)
         else:
             raise ShellError(usage)
+
+    def _cmd_top(self, args: list[str]) -> None:
+        from repro.obs.slo import TopView, render_top
+
+        monitor = self._health_monitor()
+        for line in render_top(TopView.from_monitor(monitor)):
+            self._print(line)
 
     def _cmd_stats(self, args: list[str]) -> None:
         cluster = self.papyrus.taskmgr.cluster

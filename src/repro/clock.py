@@ -59,7 +59,9 @@ class VirtualClock:
         advance at or past the due time, then re-arms ``interval`` from
         *that* moment — one large jump produces one call, not a backlog.
         Returns the registered observer so callers can unsubscribe with
-        ``clock.on_advance.remove(observer)``.
+        ``clock.on_advance.remove(observer)`` — or call the observer's
+        ``.cancel()`` attribute, which is idempotent (detaching monitors
+        and consoles must be safe to do twice).
         """
         if interval <= 0:
             raise ValueError(f"interval must be positive ({interval})")
@@ -71,6 +73,14 @@ class VirtualClock:
                 due = new + interval
                 callback(new)
 
+        def _cancel() -> bool:
+            try:
+                self.on_advance.remove(_observer)
+                return True
+            except ValueError:
+                return False
+
+        _observer.cancel = _cancel  # type: ignore[attr-defined]
         self.on_advance.append(_observer)
         return _observer
 

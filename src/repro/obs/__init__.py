@@ -32,6 +32,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricError,
     MetricsRegistry,
+    WindowedSeries,
 )
 from repro.obs.tracer import CATEGORIES, Span, Tracer, read_jsonl
 
@@ -46,15 +47,18 @@ __all__ = [
     "Span",
     "TRACER",
     "Tracer",
+    "WindowedSeries",
     "disable_tracing",
     "enable_tracing",
     "metrics_snapshot",
     "read_jsonl",
 ]
 
-# repro.obs.analysis (span-tree model, critical path, utilization, diff) is
-# imported lazily by its consumers — it depends only on the tracer's event
-# record, and keeping it out of the package root keeps `import repro` lean.
+# repro.obs.analysis (span-tree model, critical path, utilization, diff) and
+# repro.obs.slo (windowed SLO engine + the `top` console) are imported lazily
+# by their consumers — they depend only on the tracer's event record and the
+# registry, and keeping them out of the package root keeps `import repro`
+# lean.
 
 #: The process-wide tracer every subsystem reports to.
 TRACER = Tracer()

@@ -222,9 +222,37 @@ class HealthMonitor:
         self.clock: "VirtualClock | None" = None
         self.firing: dict[str, bool] = {}
         self.last: dict[str, Any] = {}
+        #: Optional windowed-objective engine (``repro.obs.slo``): when
+        #: attached, SLO burn rates are sampled and evaluated on the same
+        #: cadence as the rules and their alerts merge into the summary.
+        self.slo_engine: Any | None = None
         self._cluster: "Cluster | None" = None
         self._rate_state: dict[str, tuple[float, float]] = {}
         self._evaluating = False
+        self._clock_observer: Any | None = None
+
+    @classmethod
+    def from_config(cls, path: str | None = None,
+                    registry: MetricsRegistry | None = None,
+                    tracer: Tracer | None = None,
+                    gap_window: float = 120.0) -> "HealthMonitor":
+        """A monitor (rules + SLO engine) from a site ruleset file.
+
+        ``path`` is a JSON/TOML document as described by
+        :func:`repro.obs.slo.load_ruleset`; None gives the stock rules
+        and objectives.  This is what ``health --rules site.json`` and
+        the benchmarks' SLO smoke use.
+        """
+        from repro.obs.slo import Ruleset, SLOEngine, default_slos, \
+            load_ruleset
+
+        ruleset = (load_ruleset(path) if path else
+                   Ruleset(rules=default_ruleset(), slos=default_slos()))
+        monitor = cls(rules=ruleset.rules, registry=registry, tracer=tracer,
+                      gap_window=gap_window)
+        monitor.attach_slos(SLOEngine(ruleset.slos, registry=registry,
+                                      tracer=tracer))
+        return monitor
 
     # -------------------------------------------------------------- wiring
 
@@ -239,7 +267,15 @@ class HealthMonitor:
                      interval: float = 5.0) -> None:
         """Re-evaluate at most once per ``interval`` of clock advance."""
         self.clock = clock
-        clock.every(interval, lambda now: self.evaluate(reason="clock"))
+        self._clock_observer = clock.every(
+            interval, lambda now: self.evaluate(reason="clock"))
+
+    def detach(self) -> None:
+        """Stop clock-driven evaluation (idempotent) — used when a site
+        ruleset replaces a monitor so the old one goes quiet."""
+        if self._clock_observer is not None:
+            self._clock_observer.cancel()
+            self._clock_observer = None
 
     def attach_cluster(self, cluster: "Cluster") -> None:
         """Watch a cluster's registry and feed gap-seconds back into it."""
@@ -252,6 +288,20 @@ class HealthMonitor:
         """Evaluate at every task commit (plus watch its cluster)."""
         taskmgr.health = self
         self.attach_cluster(taskmgr.cluster)
+
+    def attach_slos(self, engine: Any | None = None) -> Any:
+        """Evaluate windowed SLO burn rates alongside the rules.
+
+        ``engine`` is a :class:`repro.obs.slo.SLOEngine` (default: one
+        over :func:`repro.obs.slo.default_slos`).  It shares this
+        monitor's registries and tracer, samples on every evaluation,
+        and its burn alerts merge into the health summary and status.
+        """
+        if engine is None:
+            from repro.obs.slo import SLOEngine
+            engine = SLOEngine()
+        self.slo_engine = engine.bind(self)
+        return engine
 
     # ------------------------------------------------------------- signals
 
@@ -427,6 +477,12 @@ class HealthMonitor:
                 firing.append({"rule": rule.name, "severity": rule.severity,
                                "value": value, "threshold": rule.threshold,
                                "signal": rule.signal})
+        slos = 0
+        if self.slo_engine is not None:
+            slo_firing, slo_skipped = self.slo_engine.observe(now)
+            firing.extend(slo_firing)
+            skipped.extend(slo_skipped)
+            slos = len(self.slo_engine.slos)
         status = ("crit" if any(f["severity"] == "crit" for f in firing)
                   else "warn" if firing else "ok")
         METRICS.counter("health.evaluations").inc()
@@ -434,7 +490,7 @@ class HealthMonitor:
             {"ok": 0, "warn": 1, "crit": 2}[status])
         self.last = {"status": status, "at": now, "reason": reason,
                      "firing": firing, "skipped": skipped,
-                     "rules": len(self.rules)}
+                     "rules": len(self.rules), "slos": slos}
         return self.last
 
     def summary(self) -> dict[str, Any]:
@@ -710,6 +766,87 @@ def gate_files(bench_path: str, baseline_path: str) -> tuple[list[str], bool]:
     return header + lines, ok
 
 
+# ------------------------------------------------------- band regeneration
+
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def regenerate_bands(baseline: dict[str, Any],
+                     runs: list[dict[str, Any]],
+                     min_tolerance: float = 0.05) -> dict[str, Any]:
+    """Re-derive a baseline's tolerance bands from N trailing green runs.
+
+    Hand-edited bands rot: a legitimate perf improvement leaves stale slack,
+    a noisy measurement causes hand-widening.  This recomputes each band
+    from the observed distribution across ``runs`` (their ``BENCH_*.json``
+    documents, which must all be green — the caller gates them first):
+
+    * ``value`` bands keep their ``direction`` and move to the median,
+      with ``tolerance = max(min_tolerance, 2 * spread/|median|)``;
+    * ``min`` bands become ``min_obs - max(spread, min_tolerance*|min_obs|)``;
+    * ``max`` bands become ``max_obs + max(spread, min_tolerance*|max_obs|)``
+
+    where ``spread = max_obs - min_obs``.  Every run must be for the
+    baseline's ``bench`` and contain every checked path — a vanished
+    measurement is an error here exactly as it is a failure in the gate.
+    Returns a new baseline document (meta/comment preserved).
+    """
+    if not runs:
+        raise HealthError("band regeneration needs at least one run")
+    bench = baseline.get("bench")
+    checks = baseline.get("checks", {})
+    if not checks:
+        raise HealthError("baseline has no checks to regenerate")
+    observations: dict[str, list[float]] = {path: [] for path in checks}
+    for run in runs:
+        run_bench = run.get("bench")
+        if bench is not None and run_bench != bench:
+            raise HealthError(f"run is for bench {run_bench!r}, baseline "
+                              f"expects {bench!r} (not comparable)")
+        for path in checks:
+            try:
+                observed = resolve_path(run, path)
+            except KeyError:
+                raise HealthError(f"{path}: missing from a trailing run")
+            if not isinstance(observed, (int, float)) or \
+                    isinstance(observed, bool):
+                raise HealthError(f"{path}: not numeric in a trailing run "
+                                  f"({observed!r})")
+            observations[path].append(float(observed))
+
+    def tidy(value: float) -> float:
+        rounded = round(value, 6)
+        return rounded if rounded != int(rounded) else float(int(rounded))
+
+    new_checks: dict[str, Any] = {}
+    for path, band in checks.items():
+        values = observations[path]
+        low, high = min(values), max(values)
+        spread = high - low
+        center = _median(values)
+        new_band = dict(band)
+        if "value" in band:
+            relative = spread / abs(center) if center else 0.0
+            new_band["value"] = tidy(center)
+            new_band["tolerance"] = tidy(max(min_tolerance, 2.0 * relative))
+        if "min" in band:
+            new_band["min"] = tidy(
+                low - max(spread, min_tolerance * abs(low)))
+        if "max" in band:
+            new_band["max"] = tidy(
+                high + max(spread, min_tolerance * abs(high)))
+        new_checks[path] = new_band
+    regenerated = dict(baseline)
+    regenerated["checks"] = new_checks
+    return regenerated
+
+
 # --------------------------------------------------------------- entry point
 
 
@@ -717,7 +854,9 @@ def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     usage = ("usage: python -m repro.obs.health "
              "diff <a.json> <b.json> [--ratio R] [--abs D] | "
-             "gate <BENCH.json> --baseline <baseline.json> | rules")
+             "gate <BENCH.json> --baseline <baseline.json> | "
+             "bands <baseline.json> <BENCH.json>... [--write] "
+             "[--min-tolerance T] | rules")
     if not argv:
         print(usage, file=sys.stderr)
         return 2
@@ -755,6 +894,42 @@ def main(argv: list[str] | None = None) -> int:
             for line in lines:
                 print(line)
             return 0 if ok else 1
+        if command == "bands":
+            write = False
+            min_tolerance = 0.05
+            files = []
+            i = 0
+            while i < len(rest):
+                if rest[i] == "--write":
+                    write = True
+                    i += 1
+                elif rest[i] == "--min-tolerance" and i + 1 < len(rest):
+                    min_tolerance = float(rest[i + 1])
+                    i += 2
+                else:
+                    files.append(rest[i])
+                    i += 1
+            if len(files) < 2:
+                print(usage, file=sys.stderr)
+                return 2
+            baseline_path, run_paths = files[0], files[1:]
+            with open(baseline_path, "r", encoding="utf-8") as fh:
+                baseline = json.load(fh)
+            runs = []
+            for run_path in run_paths:
+                with open(run_path, "r", encoding="utf-8") as fh:
+                    runs.append(json.load(fh))
+            regenerated = regenerate_bands(baseline, runs,
+                                           min_tolerance=min_tolerance)
+            rendered = json.dumps(regenerated, indent=2, sort_keys=True)
+            if write:
+                with open(baseline_path, "w", encoding="utf-8") as fh:
+                    fh.write(rendered + "\n")
+                print(f"bands: rewrote {baseline_path} from "
+                      f"{len(runs)} run(s)")
+            else:
+                print(rendered)
+            return 0
         if command == "rules":
             print(f"{'rule':<20} {'sev':<5} {'fires when':<42} description")
             for rule in default_ruleset():

@@ -14,6 +14,7 @@ either keep a reference or re-look-up cheaply (one dict probe).
 from __future__ import annotations
 
 import re
+from collections import deque
 from typing import Any, Iterable
 
 from repro.errors import PapyrusError
@@ -182,6 +183,107 @@ class Histogram:
         }
 
 
+class WindowedSeries:
+    """A ring buffer of ``(virtual_ts, value)`` samples with retention.
+
+    The windowed substrate under the SLO engine: cumulative quantities
+    (counters, gap seconds, elapsed time) are sampled on the health
+    cadence, and burn rates are deltas between the boundary samples of a
+    trailing window.  Retention is time-based (``retention`` virtual
+    seconds) with a hard sample cap (``maxlen``), so a long-lived session
+    holds a bounded record no matter how often it samples.
+
+    Windowed deltas obey the missing-metric contract from the health
+    engine: an **empty window or a single-sample window yields None**
+    (the rule is skipped), never a fabricated 0.0 — one sample tells you
+    a level, not a rate.
+    """
+
+    kind = "window"
+    __slots__ = ("name", "labels", "retention", "samples")
+
+    def __init__(self, name: str, labels: LabelKey,
+                 retention: float = 7200.0, maxlen: int = 4096):
+        self.name = name
+        self.labels = labels
+        self.retention = float(retention)
+        self.samples: deque[tuple[float, float]] = deque(maxlen=maxlen)
+
+    def record(self, ts: float, value: float) -> None:
+        """Append one sample; prune anything older than the retention.
+
+        A timestamp *before* the last sample means the virtual clock was
+        rebuilt (a fresh run in the same process) — the stale epoch's
+        samples are dropped rather than interleaved into nonsense.
+        """
+        if self.samples and ts < self.samples[-1][0]:
+            self.samples.clear()
+        self.samples.append((float(ts), float(value)))
+        horizon = ts - self.retention
+        while self.samples and self.samples[0][0] < horizon:
+            self.samples.popleft()
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def latest(self) -> tuple[float, float] | None:
+        return self.samples[-1] if self.samples else None
+
+    def bounds(self, now: float,
+               seconds: float) -> tuple[tuple[float, float],
+                                        tuple[float, float]] | None:
+        """The boundary samples of the window ``[now - seconds, now]``.
+
+        The lower boundary is the newest sample at or before the window
+        start (so the delta spans the whole window), falling back to the
+        oldest in-window sample while the series is still shorter than the
+        window.  None when fewer than two distinct-time samples cover the
+        window — the caller must skip, not assume zero.
+        """
+        lo = now - seconds
+        start = end = None
+        for ts, value in self.samples:
+            if ts > now:
+                break
+            if ts <= lo:
+                start = (ts, value)
+            elif start is None:
+                start = (ts, value)
+            end = (ts, value)
+        if start is None or end is None or end[0] <= start[0]:
+            return None
+        return start, end
+
+    def delta_over(self, now: float, seconds: float) -> float | None:
+        """Value increase across the trailing window (None when empty or
+        single-sample — mirrors the health engine's missing-metric
+        contract)."""
+        boundary = self.bounds(now, seconds)
+        if boundary is None:
+            return None
+        (_, v0), (_, v1) = boundary
+        return v1 - v0
+
+    def rate_over(self, now: float, seconds: float) -> float | None:
+        """Per-virtual-second increase across the trailing window, using
+        the *actual* elapsed time between the boundary samples (partial
+        windows are rated over what they cover, not the nominal width)."""
+        boundary = self.bounds(now, seconds)
+        if boundary is None:
+            return None
+        (t0, v0), (t1, v1) = boundary
+        return (v1 - v0) / (t1 - t0)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": len(self.samples),
+            "first_ts": self.samples[0][0] if self.samples else None,
+            "last_ts": self.samples[-1][0] if self.samples else None,
+            "last": self.samples[-1][1] if self.samples else None,
+        }
+
+
 class MetricsRegistry:
     """A namespace of instruments, keyed by (name, sorted labels)."""
 
@@ -224,6 +326,16 @@ class MetricsRegistry:
         if buckets is None:
             return self._get(Histogram, name, labels)
         return self._get(Histogram, name, labels, buckets=buckets)
+
+    def window(self, name: str, retention: float | None = None,
+               maxlen: int | None = None, **labels: Any) -> WindowedSeries:
+        """A ring-buffered windowed series (see :class:`WindowedSeries`)."""
+        kwargs: dict[str, Any] = {}
+        if retention is not None:
+            kwargs["retention"] = retention
+        if maxlen is not None:
+            kwargs["maxlen"] = maxlen
+        return self._get(WindowedSeries, name, labels, **kwargs)
 
     # --------------------------------------------------------------- queries
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import json
+import time as _time
 from typing import IO, Any, Iterator
 
 from repro.clock import VirtualClock
@@ -115,6 +116,11 @@ class Tracer:
         self._stream: IO[str] | None = None
         self._stream_path: str | None = None
         self.streamed = 0
+        #: Wall seconds spent inside :meth:`_append` (self-observability:
+        #: the overhead of tracing itself, mirrored to the
+        #: ``trace.emit_seconds`` counter).
+        self.emit_seconds = 0.0
+        self._self_metrics: tuple[Any, Any, Any] | None = None
 
     # ------------------------------------------------------------- lifecycle
 
@@ -136,6 +142,8 @@ class Tracer:
         self.events.clear()
         self.dropped = 0
         self._stack.clear()
+        if self._self_metrics is not None:
+            self._self_metrics[2].set(0.0)
         if self._stream is None:
             self._ids = itertools.count(1)
             self._seq = itertools.count(1)
@@ -196,13 +204,30 @@ class Tracer:
     # -------------------------------------------------------------- emission
 
     def _append(self, record: dict[str, Any]) -> None:
+        t0 = _time.perf_counter()
         if self._stream is not None:
             self._stream.write(json.dumps(record, sort_keys=True) + "\n")
             self.streamed += 1
-        if len(self.events) >= self.capacity:
+        if len(self.events) < self.capacity:
+            self.events.append(record)
+        else:
             self.dropped += 1
-            return
-        self.events.append(record)
+        # Self-observability: the tracer's own cost and drop risk are
+        # metrics like everything else, so an SLO can watch the watcher —
+        # trace.emit_seconds is wall time (emission is real work even when
+        # the clock is virtual), trace.buffer_fill the 0..1 fraction of
+        # capacity in use, trace.events the total emitted.
+        if self._self_metrics is None:
+            from repro.obs import METRICS
+            self._self_metrics = (METRICS.counter("trace.emit_seconds"),
+                                  METRICS.counter("trace.events"),
+                                  METRICS.gauge("trace.buffer_fill"))
+        emit_counter, event_counter, fill_gauge = self._self_metrics
+        elapsed = _time.perf_counter() - t0
+        self.emit_seconds += elapsed
+        emit_counter.inc(elapsed)
+        event_counter.inc()
+        fill_gauge.set(len(self.events) / self.capacity)
 
     def span(self, name: str, cat: str = "task", **args: Any) -> Span | _NullSpan:
         """Open a hierarchical span (use as a context manager)."""

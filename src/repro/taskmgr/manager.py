@@ -36,6 +36,7 @@ class TaskManager:
         navigator: Navigator | None = None,
         on_restart: RestartHook | None = None,
         max_restarts: int = 3,
+        labels: dict[str, str] | None = None,
     ):
         self.db = db
         self.registry = registry
@@ -47,6 +48,12 @@ class TaskManager:
         self.on_restart = on_restart
         self.max_restarts = max_restarts
         self.executions: list[TaskExecution] = []
+        #: Metric labels stamped on this manager's instruments (e.g.
+        #: ``{"tenant": "alice"}``) — a multi-tenant server gives each
+        #: session its own label set so SLO objectives written as
+        #: ``metric:engine.history_records{tenant=alice}`` scope per
+        #: tenant.  Empty by default: unlabelled series, as before.
+        self.labels: dict[str, str] = dict(labels or {})
         #: Optional ``repro.obs.health.HealthMonitor``: when attached (via
         #: ``monitor.attach_taskmgr(self)``) every task commit triggers an
         #: alert-rule evaluation, so regressions surface at the history
@@ -118,7 +125,7 @@ class TaskManager:
             for name_ in execution.intermediate_names():
                 if self.db.exists(name_) and not self.db.is_deleted(name_):
                     self.db.delete(name_)
-        METRICS.counter("engine.history_records").inc()
+        METRICS.counter("engine.history_records", **self.labels).inc()
         if TRACER.enabled:
             TRACER.event("task.commit", cat="task", task=record.task,
                          steps=len(record.steps),
