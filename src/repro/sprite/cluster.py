@@ -288,16 +288,28 @@ class Cluster:
         now = self.clock.now
         span = now - self._last_charge
         if span > _EPS:
+            # Timeshared rates are per *host*, not per process: resolve each
+            # host's rate once per charge instead of once per resident (the
+            # engine's 10k-step graphs make this loop the simulator's
+            # hottest line).
+            rates: dict[str, float] = {}
             for proc in self._procs.values():
-                rate = self.hosts[proc.host].rate()
+                rate = rates.get(proc.host)
+                if rate is None:
+                    rate = self.hosts[proc.host].rate()
+                    rates[proc.host] = rate
                 proc.work -= span * rate
                 self.stats.add_busy(proc.host, span)
         self._last_charge = now
 
     def _next_completion(self) -> tuple[float, SimProcess | None]:
         best_t, best_p = math.inf, None
+        rates: dict[str, float] = {}
         for proc in self._procs.values():
-            rate = self.hosts[proc.host].rate()
+            rate = rates.get(proc.host)
+            if rate is None:
+                rate = self.hosts[proc.host].rate()
+                rates[proc.host] = rate
             t = self.clock.now + proc.work / rate
             if t < best_t - _EPS or (
                 abs(t - best_t) <= _EPS

@@ -2,23 +2,38 @@
 
 The engine interprets a template's body with the TDL interpreter.  ``step``
 commands *issue* work and return immediately (out-of-order issue); completed
-steps are harvested from the cluster out of order (out-of-order execution);
-readiness is tracked through the thesis's three lists:
+steps are harvested from the cluster out of order (out-of-order execution).
 
-* **Active** — steps currently running on some workstation,
-* **Suspending** — steps whose data or control dependencies are unmet,
-* **Result** — objects produced so far, each tagged with its creating step.
+Readiness is tracked on an explicit dependency graph built as the body is
+interpreted: every admitted step becomes a node with PENDING / READY /
+RUNNING / SUCCESS / FAILED / SKIPPED states, its unmet data and control
+dependencies become typed wait keys, and completions fire exactly the
+waiters registered on the keys they satisfy — a completion wakes only its
+dependents, never a scan of everything suspended.  The thesis's three lists
+(§4.3.2) survive as views of the node states:
 
-Programmable aborts follow §4.3.4 exactly: every top-level command of a
-template body carries an internal ID (subtask bodies get a prefixed ID path);
-aborting a step restarts interpretation right after its resumed step's
-internal ID, after undoing every step with a larger internal ID.
+* **Active** — nodes in RUNNING (a process on some workstation),
+* **Suspending** — nodes in PENDING (data or control dependencies unmet),
+* **Result** — objects produced so far, each tagged with its creating node.
+
+The original list-walking scheduler (re-scan Suspending on every completion)
+is retained as ``scheduler="list"`` so the two engines can be compared
+step-record-for-step-record; see ``tests/test_engine_dag.py``.
+
+Programmable aborts follow §4.3.4: every top-level command of a template
+body carries an internal ID (subtask bodies get a prefixed ID path);
+aborting a step restarts interpretation from the resumed step's task state
+by cancelling the graph suffix — every node with a larger internal ID is
+killed (RUNNING), dropped (PENDING) or undone (SUCCESS/FAILED) and marked
+SKIPPED — then re-interpreting the template with idempotent admission.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
 from dataclasses import dataclass, field
+from enum import Enum
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.cad.registry import Tool, ToolCall, ToolRegistry, ToolResult
@@ -49,6 +64,13 @@ if TYPE_CHECKING:
 
 InternalId = tuple[int, ...]
 
+#: A typed dependency-wait key.  ``("slot", scope_id, name)`` fires when the
+#: named slot binds a version; ``("done", internal_id)`` fires when that
+#: command completes successfully; ``("decl", prefix, id)`` fires when a
+#: forward-referenced declared ID is registered (and is then translated into
+#: the corresponding done-key).
+DepKey = tuple
+
 _instances = itertools.count(1)
 
 #: Callback invoked before each step is dispatched; may return replacement /
@@ -58,6 +80,17 @@ Navigator = Callable[[StepSpec, list[str]], list[str] | None]
 #: Callback invoked on task restart after an abort; models the user "trying
 #: different parameters" (§3.3.2).  May mutate ``execution.option_overrides``.
 RestartHook = Callable[["TaskExecution", StepSpec], None]
+
+
+class NodeState(Enum):
+    """Lifecycle of one step node in the dependency graph."""
+
+    PENDING = "pending"      # admitted, dependencies unmet (in Suspending)
+    READY = "ready"          # dependencies met, queued for dispatch
+    RUNNING = "running"      # a process on the cluster (in Active)
+    SUCCESS = "success"      # completed with exit status 0
+    FAILED = "failed"        # completed with a non-zero exit status
+    SKIPPED = "skipped"      # cancelled/undone by subtree cancellation
 
 
 @dataclass
@@ -99,12 +132,15 @@ class _Scope:
 
 @dataclass
 class _Pending:
-    """A step that has been interpreted (it may be waiting or running)."""
+    """A step node: admitted, possibly waiting, running or completed."""
 
     spec: StepSpec
     internal_id: InternalId
     scope: _Scope
     occurrence: int = 0                      # nth admission of this command
+    admit_seq: int = -1                      # global admission order
+    state: NodeState = NodeState.PENDING
+    unmet: set = field(default_factory=set)  # outstanding DepKeys
     issue_seq: int = -1                      # set at dispatch
     proc: SimProcess | None = None
     result: ToolResult | None = None
@@ -137,7 +173,10 @@ class TaskExecution:
         on_restart: RestartHook | None = None,
         max_restarts: int = 3,
         memo: DerivationCache | None = None,
+        scheduler: str = "dag",
     ):
+        if scheduler not in ("dag", "list"):
+            raise TemplateError(f"unknown scheduler {scheduler!r}")
         self.template = template
         self.db = db
         self.registry = registry
@@ -148,6 +187,7 @@ class TaskExecution:
         self.on_restart = on_restart
         self.max_restarts = max_restarts
         self.memo = memo
+        self.scheduler = scheduler
         self.instance = next(_instances)
 
         self.interp = Interp()
@@ -175,9 +215,11 @@ class TaskExecution:
             base = outputs.get(formal, formal)
             self.root_scope.slots[formal] = _Slot(base=base, kind="output")
 
-        # The three lists of §4.3.2 (Result is implicit in slot versions).
-        self.active: list[_Pending] = []
-        self.suspending: list[_Pending] = []
+        # The three lists of §4.3.2, stored as admission-ordered node maps
+        # keyed by (internal id, occurrence) so membership updates are O(1)
+        # (Result is implicit in slot versions).
+        self.active: dict[tuple[InternalId, int], _Pending] = {}
+        self.suspending: dict[tuple[InternalId, int], _Pending] = {}
         self.completed: list[_Pending] = []     # in completion order
         #: formals promised by an interpreted step: (scope id, formal name)
         self.promised: set[tuple[int, str]] = set()
@@ -189,6 +231,7 @@ class TaskExecution:
         self.aborted_reason: str | None = None
         self.option_overrides: dict[str, list[str]] = {}
         self._issue_counter = itertools.count()
+        self._admit_counter = itertools.count()
         self._current_id: InternalId = (0,)
         self._last_admitted: _Pending | None = None
         #: Admission bookkeeping: re-interpretation after a restart must not
@@ -196,8 +239,24 @@ class TaskExecution:
         self._admitted: dict[tuple[InternalId, int], _Pending] = {}
         self._occurrence: dict[InternalId, int] = {}
         self._scopes: dict[tuple[InternalId, int], _Scope] = {}
-        #: A deferred programmable abort: (failed pending, reason).
-        self._pending_restart: tuple[_Pending, str] | None = None
+        #: Latest live admission per internal ID (abort-target resolution).
+        self._by_internal: dict[InternalId, _Pending] = {}
+        #: Dependency graph edges: DepKey → nodes waiting on it.  These are
+        #: the per-node dependent lists — a completion fires only the keys
+        #: it satisfies, so wakeup cost is proportional to the dependents.
+        self._waiters: dict[DepKey, list[_Pending]] = {}
+        #: The ready queue, ordered by admission so dispatch order matches
+        #: the list engine's suspend-order scan exactly.
+        self._ready_heap: list[tuple[int, _Pending]] = []
+        self._pumping = False
+        #: Slot keys that may be satisfied by an object appearing directly
+        #: in the database (no in-template producer promised them yet);
+        #: rechecked on each completion, mirroring the list engine's rescan.
+        self._external_waits: dict[DepKey, tuple[_Scope, str]] = {}
+        #: Deferred programmable aborts, one per failed programmed-abort
+        #: step: (failed node, reason).  A queue, not a single slot — two
+        #: failures harvested in one drain must both be honoured (§4.3.4).
+        self._pending_restarts: list[tuple[_Pending, str]] = []
 
     # ----------------------------------------------------------------- naming
 
@@ -253,8 +312,8 @@ class TaskExecution:
                 child_scope.aliases[child_formal] = (parent_scope,
                                                      parent_formal)
         if spec.declared_id is not None:
-            self.declared[(parent_scope.prefix, spec.declared_id)] = \
-                self._current_id
+            self._register_declared(parent_scope.prefix, spec.declared_id,
+                                    self._current_id)
         # In-line expansion (§4.2.2): interpret the child body here, with
         # internal IDs prefixed by this command's ID.
         self._run_body(child_template.body_commands, child_scope)
@@ -299,7 +358,8 @@ class TaskExecution:
 
     def _in_flight_producers(self, scope: _Scope, formal: str) -> bool:
         owner, name = scope.resolve(formal)
-        for pending in self.active + self.suspending:
+        for pending in list(self.active.values()) + \
+                list(self.suspending.values()):
             for out in pending.spec.outputs:
                 o_scope, o_name = pending.scope.resolve(out)
                 if o_scope is owner and o_name == name:
@@ -323,11 +383,34 @@ class TaskExecution:
 
     # --------------------------------------------------------------- stepping
 
+    def _register_declared(self, prefix: InternalId, declared_id: int,
+                           internal_id: InternalId) -> None:
+        """Record a declared step ID and resolve forward references to it."""
+        self.declared[(prefix, declared_id)] = internal_id
+        key: DepKey = ("decl", prefix, declared_id)
+        waiters = self._waiters.pop(key, None)
+        if not waiters:
+            return
+        # Forward control dependency: translate the declaration wait into a
+        # completion wait on the now-known internal ID.
+        done_key: DepKey = ("done", internal_id)
+        for node in waiters:
+            if node.state is not NodeState.PENDING or key not in node.unmet:
+                continue
+            if internal_id in self.completed_ok:
+                self._satisfy(node, key)
+            else:
+                node.unmet.discard(key)
+                node.unmet.add(done_key)
+                self._waiters.setdefault(done_key, []).append(node)
+        self._pump()
+
     def _admit_step(self, spec: StepSpec, scope: _Scope) -> None:
         occurrence = self._occurrence.get(self._current_id, 0)
         self._occurrence[self._current_id] = occurrence + 1
         if spec.declared_id is not None:
-            self.declared[(scope.prefix, spec.declared_id)] = self._current_id
+            self._register_declared(scope.prefix, spec.declared_id,
+                                    self._current_id)
         existing = self._admitted.get((self._current_id, occurrence))
         if existing is not None:
             # Re-interpretation after a restart: this step survived the undo.
@@ -337,8 +420,10 @@ class TaskExecution:
                 self.interp.set_var("status", str(existing.result.status))
             return
         pending = _Pending(spec=spec, internal_id=self._current_id,
-                           scope=scope, occurrence=occurrence)
+                           scope=scope, occurrence=occurrence,
+                           admit_seq=next(self._admit_counter))
         self._admitted[pending.key] = pending
+        self._by_internal[pending.internal_id] = pending
         self._last_admitted = pending
         METRICS.counter("engine.steps_issued").inc()
         if TRACER.enabled:
@@ -347,15 +432,141 @@ class TaskExecution:
         for formal in spec.outputs:
             owner, name = scope.resolve(formal)
             self.promised.add((owner.id, name))
+            # A promised slot has an in-template producer: it is no longer a
+            # candidate for direct-database satisfaction.
+            self._external_waits.pop(("slot", owner.id, name), None)
             self._slot_for(scope, formal)  # allocate the slot eagerly
-        if self._ready(pending):
-            self._dispatch(pending)
+        if self.scheduler == "dag":
+            unmet = self._collect_unmet(pending)
+            if unmet:
+                pending.unmet = unmet
+                for dep_key in unmet:
+                    self._waiters.setdefault(dep_key, []).append(pending)
+                self._suspend(pending)
+            else:
+                self._enqueue_ready(pending)
+            self._pump()
         else:
-            self.suspending.append(pending)
-            METRICS.counter("engine.steps_suspended").inc()
-            if TRACER.enabled:
-                TRACER.event("step.suspend", cat="step", step=pending.label,
-                             instance=self.instance)
+            if self._ready(pending):
+                self._dispatch(pending)
+            else:
+                self._suspend(pending)
+
+    def _suspend(self, pending: _Pending) -> None:
+        pending.state = NodeState.PENDING
+        self.suspending[pending.key] = pending
+        METRICS.counter("engine.steps_suspended").inc()
+        if TRACER.enabled:
+            TRACER.event("step.suspend", cat="step", step=pending.label,
+                         instance=self.instance)
+
+    # ------------------------------------------------- DAG readiness tracking
+
+    def _collect_unmet(self, pending: _Pending) -> set:
+        """Compute the node's dependency edges (its unmet wait keys)."""
+        unmet: set = set()
+        scope = pending.scope
+        for formal in pending.spec.inputs:
+            owner, name = scope.resolve(formal)
+            slot = owner.slots.get(name)
+            if slot is not None and slot.version is not None:
+                continue
+            dep_key: DepKey = ("slot", owner.id, name)
+            if (owner.id, name) not in self.promised:
+                # Neither bound nor promised: maybe a direct database
+                # reference — bind it now, or watch for it to appear.
+                if self.db.exists(name):
+                    owner.slots[name] = _Slot(
+                        base=parse_name(name).base,
+                        version=self.db.get(name).version,
+                        kind="external",
+                    )
+                    continue
+                self._external_waits[dep_key] = (owner, name)
+            unmet.add(dep_key)
+        for dep in pending.spec.control_deps:
+            internal = self.declared.get((scope.prefix, dep))
+            if internal is None:
+                unmet.add(("decl", scope.prefix, dep))
+            elif internal not in self.completed_ok:
+                unmet.add(("done", internal))
+        return unmet
+
+    def _satisfy(self, node: _Pending, dep_key: DepKey) -> None:
+        node.unmet.discard(dep_key)
+        if not node.unmet and node.state is NodeState.PENDING:
+            self.suspending.pop(node.key, None)
+            self._enqueue_ready(node)
+
+    def _enqueue_ready(self, node: _Pending) -> None:
+        node.state = NodeState.READY
+        heapq.heappush(self._ready_heap, (node.admit_seq, node))
+
+    def _pump(self) -> None:
+        """Dispatch every ready node, oldest admission first.
+
+        Re-entrant calls (a dispatch hitting the derivation cache completes
+        synchronously and fires more keys) just enqueue; the outermost pump
+        drains everything.
+        """
+        if self._pumping:
+            return
+        self._pumping = True
+        try:
+            while self._ready_heap:
+                _, node = heapq.heappop(self._ready_heap)
+                if node.state is not NodeState.READY:
+                    continue
+                self._dispatch(node)
+        finally:
+            self._pumping = False
+
+    def _fire_key(self, dep_key: DepKey) -> None:
+        """Wake the dependents registered on one satisfied dependency."""
+        waiters = self._waiters.pop(dep_key, None)
+        if not waiters:
+            return
+        METRICS.counter("engine.wake_checks").inc(len(waiters))
+        for node in waiters:
+            if node.state is not NodeState.PENDING:
+                continue
+            self._satisfy(node, dep_key)
+
+    def _recheck_external(self) -> None:
+        """Re-probe dangling direct-database references (rare).
+
+        Mirrors the list engine's behaviour: an input that is neither bound
+        nor promised may be satisfied by an object another concurrent
+        instantiation commits under exactly that name.
+        """
+        if not self._external_waits:
+            return
+        for dep_key, (owner, name) in list(self._external_waits.items()):
+            if dep_key not in self._waiters:
+                del self._external_waits[dep_key]
+                continue
+            if self.db.exists(name):
+                owner.slots[name] = _Slot(
+                    base=parse_name(name).base,
+                    version=self.db.get(name).version,
+                    kind="external",
+                )
+                del self._external_waits[dep_key]
+                self._fire_key(dep_key)
+
+    def _on_step_success(self, pending: _Pending) -> None:
+        """Wake exactly the dependents of one successful completion."""
+        if self.scheduler != "dag":
+            self._wake_suspended()
+            return
+        self._fire_key(("done", pending.internal_id))
+        for formal in pending.spec.outputs:
+            owner, name = pending.scope.resolve(formal)
+            self._fire_key(("slot", owner.id, name))
+        self._recheck_external()
+        self._pump()
+
+    # ------------------------------------------------ list-engine readiness
 
     def _ready(self, pending: _Pending) -> bool:
         for formal in pending.spec.inputs:
@@ -379,6 +590,28 @@ class TaskExecution:
             if internal is None or internal not in self.completed_ok:
                 return False
         return True
+
+    def _wake_suspended(self) -> None:
+        """The list engine's wake path: rescan Suspending until quiescent."""
+        progressed = True
+        while progressed:
+            progressed = False
+            checked = 0
+            for pending in list(self.suspending.values()):
+                # A dispatch may hit the derivation cache and complete
+                # synchronously, recursing into this method — the recursive
+                # call may already have drained entries of our snapshot.
+                if self.suspending.get(pending.key) is not pending:
+                    continue
+                checked += 1
+                if self._ready(pending):
+                    del self.suspending[pending.key]
+                    self._dispatch(pending)
+                    progressed = True
+            if checked:
+                METRICS.counter("engine.wake_checks").inc(checked)
+
+    # --------------------------------------------------------------- dispatch
 
     def _dispatch(self, pending: _Pending) -> None:
         spec = pending.spec
@@ -426,7 +659,8 @@ class TaskExecution:
             and not tool.interactive,
             priority=spec.priority,
         )
-        self.active.append(pending)
+        pending.state = NodeState.RUNNING
+        self.active[pending.key] = pending
         METRICS.counter("engine.steps_dispatched").inc()
         if TRACER.enabled:
             TRACER.event("step.dispatch", cat="step", step=pending.label,
@@ -497,6 +731,7 @@ class TaskExecution:
             status=0,
             reused=True,
         )
+        pending.state = NodeState.SUCCESS
         self.completed.append(pending)
         self.completed_ok.add(pending.internal_id)
         METRICS.counter("memo.hits").inc()
@@ -512,7 +747,7 @@ class TaskExecution:
                          tool=call.tool, saved=entry.cost,
                          outputs=outputs_created, instance=self.instance)
         self.interp.set_var("status", "0")
-        self._wake_suspended()
+        self._on_step_success(pending)
 
     # ------------------------------------------------------------ completion
 
@@ -537,16 +772,15 @@ class TaskExecution:
                 continue
             owner, pending, call = payload
             owner._absorb(pending, call, proc)
-        if self._pending_restart is not None:
-            pending, reason = self._pending_restart
-            self._pending_restart = None
-            self._programmable_abort(pending, reason)
+        deferred = self._next_pending_restart()
+        if deferred is not None:
+            self._programmable_abort(*deferred)
 
     def _absorb(self, pending: "_Pending", call: ToolCall,
                 proc: SimProcess) -> None:
-        if pending not in self.active:
+        if self.active.get(pending.key) is not pending:
             return
-        self.active.remove(pending)
+        del self.active[pending.key]
         result = self.registry.run(call)
         pending.result = result
         started = proc.started_at
@@ -565,6 +799,9 @@ class TaskExecution:
                 self.created.append(str(obj.name))
                 outputs_created.append(str(obj.name))
             self.completed_ok.add(pending.internal_id)
+            pending.state = NodeState.SUCCESS
+        else:
+            pending.state = NodeState.FAILED
         pending.record = StepRecord(
             name=pending.spec.name,
             tool=call.tool,
@@ -597,48 +834,60 @@ class TaskExecution:
         if not result.ok:
             self._handle_failure(pending)
         else:
-            self._wake_suspended()
-
-    def _wake_suspended(self) -> None:
-        progressed = True
-        while progressed:
-            progressed = False
-            for pending in list(self.suspending):
-                # A dispatch may hit the derivation cache and complete
-                # synchronously, recursing into this method — the recursive
-                # call may already have drained entries of our snapshot.
-                if pending not in self.suspending:
-                    continue
-                if self._ready(pending):
-                    self.suspending.remove(pending)
-                    self._dispatch(pending)
-                    progressed = True
+            self._on_step_success(pending)
 
     # ------------------------------------------------------------------ abort
 
     def _find_step(self, target: str) -> _Pending | None:
-        everywhere = self.completed + self.active + self.suspending
         try:
             declared = int(target)
         except ValueError:
             declared = None
-        for pending in everywhere:
-            if pending.spec.name == target:
-                return pending
-            if declared is not None and pending.spec.declared_id == declared:
-                return pending
+        if declared is not None:
+            # Numeric targets resolve through the declaring scope, exactly
+            # like control dependencies — a declared ID in another subtask
+            # expansion is a different step, even if the integer matches.
+            internal = self.declared.get(
+                (self._current_scope.prefix, declared))
+            if internal is None:
+                return None
+            node = self._by_internal.get(internal)
+            if node is not None and node.state is not NodeState.SKIPPED:
+                return node
+            return None
+        for node in itertools.chain(self.completed, self.active.values(),
+                                    self.suspending.values()):
+            if node.spec.name == target:
+                return node
         return None
 
     def _handle_failure(self, pending: _Pending) -> None:
         if pending.spec.resumed_step is not None:
             # A programmed abort point: restart at the next safe moment —
-            # the flag is consumed by this execution's own drive loop, so a
+            # the queue is consumed by this execution's own drive loop, so a
             # concurrent sibling's drain never unwinds our stack (§4.3.4).
-            self._pending_restart = (
-                pending, f"step failed: {pending.result.log}"
+            # A queue, because one drain can surface several failures, and
+            # every programmed abort must eventually be honoured.
+            self._pending_restarts.append(
+                (pending, f"step failed: {pending.result.log}")
             )
         # Otherwise the failure is deferred: the template may branch on
         # $status; unhandled failures are dealt with at end of body.
+
+    def _next_pending_restart(self) -> tuple[_Pending, str] | None:
+        """Pop the next live deferred abort, lowest internal ID first.
+
+        Processing in internal-ID order means an earlier step's abort runs
+        first; if its undo cancels a later failed step, that step's deferred
+        abort is dropped here (the step is SKIPPED and will re-execute).
+        """
+        while self._pending_restarts:
+            self._pending_restarts.sort(key=lambda item: item[0].internal_id)
+            pending, reason = self._pending_restarts.pop(0)
+            if pending.state is not NodeState.FAILED:
+                continue
+            return pending, reason
+        return None
 
     def _resumed_internal_id(self, pending: _Pending) -> InternalId | None:
         """Map a step's resumed-step spec to an internal ID (None = scratch)."""
@@ -646,11 +895,20 @@ class TaskExecution:
         if resumed in (None, 0):
             return None
         if resumed == "latest":
-            done = [p for p in self.completed
-                    if p.result is not None and p.result.ok]
-            if not done:
-                return None
-            return done[-1].internal_id
+            # The most advanced committed state: the completed-ok logical
+            # predecessor with the *largest internal ID*.  Completion order
+            # is a red herring — under out-of-order harvest the last
+            # completion may be a logically earlier step, and resuming there
+            # would needlessly undo work that is still valid.
+            best: InternalId | None = None
+            for node in self.completed:
+                if node.result is None or not node.result.ok:
+                    continue
+                if not node.internal_id < pending.internal_id:
+                    continue
+                if best is None or node.internal_id > best:
+                    best = node.internal_id
+            return best
         internal = self.declared.get((pending.scope.prefix, int(resumed)))
         if internal is None:
             raise TemplateError(
@@ -690,28 +948,40 @@ class TaskExecution:
         raise RestartSignal(prefix=(), index=-1)
 
     def _undo_after(self, internal_id: InternalId) -> None:
-        """Undo every step whose internal ID is larger than ``internal_id``
-        (the §4.3.4 restart rule); () undoes everything."""
+        """Cancel the graph suffix after ``internal_id`` (§4.3.4; () = all).
+
+        Every node with a larger internal ID is killed (RUNNING), dropped
+        (PENDING/READY) or undone (completed, with its output versions
+        deleted), and marked SKIPPED.  Surviving PENDING nodes whose already
+        satisfied dependencies were invalidated get those wait keys back.
+        """
 
         def later(candidate: InternalId) -> bool:
             return candidate > internal_id
 
-        for pending in [p for p in self.active if later(p.internal_id)]:
-            if pending.proc is not None:
-                self.cluster.kill(pending.proc)
-            self.active.remove(pending)
-        self.suspending = [
-            p for p in self.suspending if not later(p.internal_id)
-        ]
-        for pending in [p for p in self.completed if later(p.internal_id)]:
+        for key, node in [(k, n) for k, n in self.active.items()
+                          if later(n.internal_id)]:
+            if node.proc is not None:
+                self.cluster.kill(node.proc)
+            node.state = NodeState.SKIPPED
+            del self.active[key]
+        for key, node in [(k, n) for k, n in self.suspending.items()
+                          if later(n.internal_id)]:
+            node.state = NodeState.SKIPPED
+            del self.suspending[key]
+        unbound: set[tuple[int, str]] = set()
+        undone_ids: set[InternalId] = set()
+        for node in [p for p in self.completed if later(p.internal_id)]:
             METRICS.counter("engine.steps_undone").inc()
             if TRACER.enabled:
-                TRACER.event("step.undo", cat="step", step=pending.label,
+                TRACER.event("step.undo", cat="step", step=node.label,
                              instance=self.instance)
-            self.completed.remove(pending)
-            self.completed_ok.discard(pending.internal_id)
-            for formal in pending.spec.outputs:
-                owner, name = pending.scope.resolve(formal)
+            self.completed.remove(node)
+            self.completed_ok.discard(node.internal_id)
+            undone_ids.add(node.internal_id)
+            node.state = NodeState.SKIPPED
+            for formal in node.spec.outputs:
+                owner, name = node.scope.resolve(formal)
                 slot = owner.slots.get(name)
                 if slot is not None and slot.version is not None:
                     actual = slot.actual
@@ -721,19 +991,53 @@ class TaskExecution:
                         self.created.remove(actual)
                     slot.version = None
                     slot.producer = None
+                    unbound.add((owner.id, name))
                 self.promised.add((owner.id, name))
         # Undone steps must be re-admitted on re-interpretation.
         for key in [k for k, p in self._admitted.items()
                     if later(p.internal_id)]:
             del self._admitted[key]
+        for iid in [i for i in self._by_internal if later(i)]:
+            del self._by_internal[iid]
+        if self.scheduler == "dag" and (unbound or undone_ids):
+            self._rearm_survivors(unbound, undone_ids)
         self._last_admitted = None
+
+    def _rearm_survivors(self, unbound: set[tuple[int, str]],
+                         undone_ids: set[InternalId]) -> None:
+        """Re-register wait keys that the undo invalidated.
+
+        A surviving PENDING node may have had a data or control dependency
+        satisfied (and its key fired) before the producer was undone; the
+        dependency is now unmet again, so the node must wait for the
+        re-executed producer.  Aborts are rare and bounded by
+        ``max_restarts``, so the one-off scan over Suspending is fine.
+        """
+        for node in self.suspending.values():
+            for formal in node.spec.inputs:
+                owner, name = node.scope.resolve(formal)
+                if (owner.id, name) in unbound:
+                    dep_key: DepKey = ("slot", owner.id, name)
+                    if dep_key not in node.unmet:
+                        node.unmet.add(dep_key)
+                        self._waiters.setdefault(dep_key, []).append(node)
+            for dep in node.spec.control_deps:
+                internal = self.declared.get((node.scope.prefix, dep))
+                if internal is not None and internal in undone_ids:
+                    dep_key = ("done", internal)
+                    if dep_key not in node.unmet:
+                        node.unmet.add(dep_key)
+                        self._waiters.setdefault(dep_key, []).append(node)
 
     def _abort_task(self, reason: str) -> None:
         """Remove every side effect and terminate the instantiation."""
-        for pending in self.active:
+        for pending in self.active.values():
             if pending.proc is not None:
                 self.cluster.kill(pending.proc)
+            pending.state = NodeState.SKIPPED
         self.active.clear()
+        for pending in self.suspending.values():
+            pending.state = NodeState.SKIPPED
         self.suspending.clear()
         for name in self.created:
             if self.db.exists(name) and not self.db.is_deleted(name):
@@ -790,10 +1094,9 @@ class TaskExecution:
     def _finish(self) -> None:
         """End-of-body: drain the cluster, then settle failures and outputs."""
         while True:
-            if self._pending_restart is not None:
-                pending, reason = self._pending_restart
-                self._pending_restart = None
-                self._programmable_abort(pending, reason)
+            deferred = self._next_pending_restart()
+            if deferred is not None:
+                self._programmable_abort(*deferred)
             while self.active:
                 self._harvest(self.cluster.wait_any())
             unhandled = [
@@ -815,7 +1118,7 @@ class TaskExecution:
                 self._undo_after(())
                 raise RestartSignal(prefix=(), index=-1)
             if self.suspending:
-                names = [p.spec.name for p in self.suspending]
+                names = [p.spec.name for p in self.suspending.values()]
                 self._abort_task(
                     f"steps never became ready: {names} (missing inputs or "
                     "failed control dependencies)"

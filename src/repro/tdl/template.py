@@ -15,7 +15,12 @@ from pathlib import Path
 
 from repro.errors import TemplateError
 from repro.tdl.lists import parse_list
-from repro.tdl.tokenizer import BRACED, split_words, strip_comments_and_split
+from repro.tdl.tokenizer import (
+    BARE,
+    BRACED,
+    split_words,
+    strip_comments_and_split,
+)
 
 
 @dataclass(frozen=True)
@@ -58,13 +63,57 @@ def parse_template(source: str) -> TaskTemplate:
         if formal in seen:
             raise TemplateError(f"duplicate formal {formal!r} in task {name!r}")
         seen.add(formal)
+    body_commands = tuple(commands[1:])
+    seen_ids: set[int] = set()
+    for declared in _literal_declared_ids(body_commands):
+        if declared in seen_ids:
+            raise TemplateError(
+                f"task {name!r}: step ID {declared} declared twice — "
+                "declared IDs must be unique within a template body "
+                "(abort targets and control dependencies resolve by ID)"
+            )
+        seen_ids.add(declared)
     return TaskTemplate(
         name=name,
         inputs=inputs,
         outputs=outputs,
-        body_commands=tuple(commands[1:]),
+        body_commands=body_commands,
         source=source,
     )
+
+
+def _literal_declared_ids(commands: tuple[str, ...]):
+    """Yield declared step IDs statically visible in top-level body commands.
+
+    Only *literal* declarations are considered: a ``step``/``subtask`` whose
+    head is a braced ``{ID Name}`` word (braced words are substitution-free)
+    or a 4-argument subtask with a bare all-digit leading ID.  Heads built by
+    substitution are only known at interpretation time and are skipped, as
+    are commands nested inside ``if``/``while`` bodies (those are braced
+    arguments of the control command, not top-level commands).
+    """
+    for command in commands:
+        try:
+            words = split_words(command)
+        except Exception:
+            continue  # malformed: let the interpreter report it in context
+        if not words or words[0][1] not in ("step", "subtask"):
+            continue
+        args = words[1:]
+        if not args:
+            continue
+        if (words[0][1] == "subtask" and len(args) == 4
+                and args[0][0] == BARE and args[0][1].isdigit()):
+            yield int(args[0][1])
+            continue
+        if args[0][0] != BRACED:
+            continue
+        parts = parse_list(args[0][1])
+        if len(parts) == 2:
+            try:
+                yield int(parts[0])
+            except ValueError:
+                pass
 
 
 class TemplateLibrary:
