@@ -131,7 +131,24 @@ def measure_memoized_replay() -> dict:
     cold_steps = [s for p in cold_points for s in stream.record(p).steps]
     warm_steps = [s for p in warm_points for s in stream.record(p).steps]
     reused = sum(1 for s in warm_steps if s.reused)
+
+    # Provenance cross-section: the replay's padded PLA must trace back to
+    # primary sources through a chain that credits every reused step to its
+    # original producing record.
+    from repro.obs.provenance import ProvenanceGraph, check_lineage
+
+    for manager in papyrus.activities.values():
+        papyrus.observe_history(manager)
+    graph = ProvenanceGraph.from_papyrus(papyrus)
+    target = "sh.pla.pad@2"
+    chain = graph.why(target)
     return {
+        "provenance_target": target,
+        "provenance_hops": len(chain),
+        "provenance_reused_hops": sum(1 for h in chain if h.reused),
+        "provenance_sources": graph.primary_sources(target),
+        "provenance_problems":
+            check_lineage(graph, target, papyrus.inference.adg),
         "steps": len(warm_steps),
         "reused_steps": reused,
         "reused_fraction": reused / len(warm_steps),
@@ -156,6 +173,15 @@ def check_memoized_replay(result: dict) -> None:
         0.5 * result["cold_makespan_seconds"], (
         f"replay makespan {result['warm_makespan_seconds']:.1f}s not "
         f"materially below cold {result['cold_makespan_seconds']:.1f}s"
+    )
+    assert result["provenance_hops"] > 0, (
+        f"no derivation chain for {result['provenance_target']}"
+    )
+    assert result["provenance_reused_hops"] > 0, (
+        "replay chain credits no reused steps — attribution regression"
+    )
+    assert not result["provenance_problems"], (
+        f"lineage problems: {result['provenance_problems']}"
     )
 
 
@@ -190,6 +216,10 @@ if __name__ == "__main__":
           f"{result['cold_makespan_seconds']:.1f}s -> "
           f"{result['warm_makespan_seconds']:.1f}s, "
           f"memo.hits={result['memo_hits']:.0f}")
+    print(f"provenance: {result['provenance_target']} <= "
+          f"{result['provenance_hops']} hop(s), "
+          f"{result['provenance_reused_hops']} reused, sources "
+          f"{', '.join(result['provenance_sources'])}")
     check_memoized_replay(result)
     if path:
         export_observability("fig37_rework_memo", {"rework": result})

@@ -22,6 +22,14 @@ from repro.errors import ThreadError
 from repro.octdb.naming import parse_name
 from repro.octdb.persistence import load_database, save_database
 
+
+def _audit():
+    # Lazy: keeps `python -m repro.obs.provenance` clear of runpy's
+    # double-import warning (importing repro pulls this module in).
+    from repro.obs.provenance import AUDIT
+
+    return AUDIT
+
 FORMAT_VERSION = 1
 
 
@@ -128,6 +136,7 @@ def thread_to_dict(thread: DesignThread) -> dict:
 def thread_from_dict(data: dict, lwt: LWTSystem) -> DesignThread:
     thread = lwt.create_thread(data["name"], owner=data.get("owner", ""))
     thread.stream = stream_from_dict(data["stream"])
+    thread.wire_audit()  # the constructor's hook died with the old stream
     thread.scope.stream = thread.stream
     # Rebind and warm the derivation cache: the restored history is exactly
     # the committed-step knowledge it feeds on, so a restored session reuses
@@ -165,6 +174,7 @@ def save_system(lwt: LWTSystem, directory: str | Path) -> Path:
             }
             for sds in lwt.spaces.values()
         ],
+        "audit": _audit().to_dicts(),
     }
     (directory / "history.json").write_text(json.dumps(doc, indent=1))
     return directory
@@ -186,6 +196,7 @@ def load_system(directory: str | Path, lwt: LWTSystem | None = None) -> LWTSyste
             f"unsupported history format {doc.get('format')!r}"
         )
     lwt.clock.advance_to(doc.get("now", 0.0))
+    _audit().restore(doc.get("audit", ()))
     for thread_doc in doc["threads"]:
         thread_from_dict(thread_doc, lwt)
     for sds_doc in doc["spaces"]:

@@ -23,6 +23,16 @@ from typing import Callable
 from repro.core.control_stream import INITIAL_POINT
 from repro.core.history import HistoryRecord
 from repro.core.thread import DesignThread
+from repro.obs import METRICS
+
+
+def _audit():
+    # Lazy: keeps `python -m repro.obs.provenance` clear of runpy's
+    # double-import warning (importing repro pulls this module in).
+    from repro.obs.provenance import AUDIT
+
+    return AUDIT
+
 
 #: Approval callback: given a human-readable description, allow or deny.
 Approval = Callable[[str], bool]
@@ -61,11 +71,15 @@ class Reclaimer:
     # ------------------------------------------------------------ primitives
 
     def _delete_objects(self, names, report: ReclamationReport) -> None:
+        swept = 0
         for name in names:
             if self.db.exists(name) and not self.db.is_deleted(name):
                 self.db.pin(name, False)
                 self.db.delete(name)
                 report.objects_deleted.append(name)
+                swept += 1
+        if swept:
+            METRICS.counter("reclaim.objects_swept").inc(swept)
 
     def _referenced_below(self, removed_points: set[int]) -> set[str]:
         """Object names used as inputs by records outside ``removed_points``
@@ -102,6 +116,9 @@ class Reclaimer:
             self._delete_objects(record.intermediates(), report)
             record.abstract()
             report.records_abstracted += 1
+            _audit().record("abstract", thread=self.thread.name,
+                            actor=self.thread.owner, reason="vertical aging",
+                            at=now, point=point, task=record.task)
         return report
 
     # ------------------------------------------------------ horizontal aging
@@ -157,7 +174,8 @@ class Reclaimer:
         # replace_region bumps the stream's scope epoch and drops the
         # affected per-node caches itself (the mutator invalidation
         # contract) — no ad-hoc scope.invalidate() needed.
-        stream.replace_region(old, summary)
+        with self.thread.audit_reason("horizontal aging"):
+            stream.replace_region(old, summary)
         self.thread.prune_point_access()
         self._delete_objects(doomed, report)
         report.records_pruned += len(old)
@@ -229,7 +247,8 @@ class Reclaimer:
                 self.thread.current_cursor = INITIAL_POINT
             # splice_out invalidates the forward closure's cached scopes
             # and bumps the scope epoch itself.
-            record = stream.splice_out(point)
+            with self.thread.audit_reason("iteration abstraction"):
+                record = stream.splice_out(point)
             self._delete_objects(
                 record.outputs + record.intermediates(), report
             )
@@ -290,7 +309,8 @@ class Reclaimer:
                     self._delete_objects(
                         record.outputs + record.intermediates(), report
                     )
-            stream.remove_points(set(branch))
+            with self.thread.audit_reason("dead-end branch pruning"):
+                stream.remove_points(set(branch))
             self.thread.prune_point_access()
             report.records_pruned += len(branch)
         return report
@@ -305,8 +325,23 @@ class Reclaimer:
         reclaim_grace: float = 24 * 3600.0,
     ) -> ReclamationReport:
         """One background pass: aging + GC + physical reclamation."""
+        bytes_before = self.db.bytes_live
         report = self.vertical_aging(vertical_after)
         report += self.horizontal_aging(horizontal_after)
         report += self.prune_dead_branches(dead_branch_after)
-        self.db.reclaim(grace_seconds=reclaim_grace)
+        reclaimed = self.db.reclaim(grace_seconds=reclaim_grace)
+        bytes_reclaimed = max(0, bytes_before - self.db.bytes_live)
+        if reclaimed:
+            METRICS.counter("reclaim.versions_erased").inc(len(reclaimed))
+        if bytes_reclaimed:
+            METRICS.counter("reclaim.bytes_reclaimed").inc(bytes_reclaimed)
+        _audit().record(
+            "reclaim", thread=self.thread.name, actor=self.thread.owner,
+            reason="background sweep", at=self.thread.clock.now,
+            objects_swept=len(report.objects_deleted),
+            records_abstracted=report.records_abstracted,
+            records_pruned=report.records_pruned,
+            versions_erased=len(reclaimed),
+            bytes_reclaimed=bytes_reclaimed,
+        )
         return report

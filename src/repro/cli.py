@@ -78,6 +78,10 @@ class Shell:
             "objects": self._cmd_objects,
             "notebook": self._cmd_notebook,
             "reclaim": self._cmd_reclaim,
+            "why": self._cmd_why,
+            "blame": self._cmd_blame,
+            "impact": self._cmd_impact,
+            "audit": self._cmd_audit,
             "trace": self._cmd_trace,
             "health": self._cmd_health,
             "top": self._cmd_top,
@@ -145,6 +149,10 @@ class Shell:
             "objects [base]": "list database objects",
             "notebook": "generate the design notebook from the history",
             "reclaim [grace-seconds]": "run the storage reclaimer",
+            "why <obj@v>": "derivation chain back to primary sources",
+            "blame <obj>": "per-version producing record and thread",
+            "impact <obj@v>": "forward closure: what this version feeds",
+            "audit [n|kind <k>|export <path>]": "the mutation journal",
             "trace on|off|status|export <path> [chrome]": "control tracing",
             "trace stream <path>": "stream events to a JSONL file live",
             "trace report [path]": "critical path + utilization report",
@@ -289,6 +297,85 @@ class Shell:
             f"abstracted {report.records_abstracted} records, pruned "
             f"{report.records_pruned}, reclaimed {len(reclaimed)} versions"
         )
+
+    # ------------------------------------------------------------- provenance
+
+    def _provenance(self):
+        """The unified lineage graph over the whole installation.
+
+        Feeds every thread's history through the inference engine first so
+        ``impact`` can be cross-checked against the live ADG.
+        """
+        from repro.obs.provenance import ProvenanceGraph
+
+        for manager in self.papyrus.activities.values():
+            self.papyrus.observe_history(manager)
+        return ProvenanceGraph.from_papyrus(self.papyrus)
+
+    def _cmd_why(self, args: list[str]) -> None:
+        from repro.obs import provenance
+
+        if len(args) != 1:
+            raise ShellError("usage: why <object@version>")
+        for line in provenance.render_why(self._provenance(), args[0]):
+            self._print(line)
+
+    def _cmd_blame(self, args: list[str]) -> None:
+        from repro.obs import provenance
+        from repro.octdb.naming import parse_name
+
+        if len(args) != 1:
+            raise ShellError("usage: blame <object>")
+        base = parse_name(args[0]).base
+        for line in provenance.render_blame(self._provenance(), base):
+            self._print(line)
+
+    def _cmd_impact(self, args: list[str]) -> None:
+        from repro.obs import provenance
+
+        if len(args) != 1:
+            raise ShellError("usage: impact <object@version>")
+        graph = self._provenance()
+        for line in provenance.render_impact(graph, args[0]):
+            self._print(line)
+        # Cross-check the forward closure against the live ADG: the two are
+        # built from different evidence and should agree.
+        adg = self.papyrus.inference.adg
+        name = args[0]
+        if name in adg.objects():
+            ours = graph.impact(name, include_aliases=False)
+            theirs = adg.affected_set(name)
+            if ours != theirs:
+                self._print(f"  ! disagrees with adg.affected_set: "
+                            f"only-provenance={sorted(ours - theirs)} "
+                            f"only-adg={sorted(theirs - ours)}")
+
+    def _cmd_audit(self, args: list[str]) -> None:
+        from repro.obs.provenance import AUDIT
+
+        usage = "usage: audit [n] | audit kind <kind> | audit export <path>"
+        if args and args[0] == "export":
+            if len(args) != 2:
+                raise ShellError(usage)
+            count = AUDIT.export_jsonl(args[1])
+            self._print(f"wrote {count} audit entries to {args[1]}")
+            return
+        kind = None
+        limit = 50
+        if args and args[0] == "kind":
+            if len(args) != 2:
+                raise ShellError(usage)
+            kind = args[1]
+        elif args:
+            if not args[0].isdigit():
+                raise ShellError(usage)
+            limit = int(args[0])
+        lines = AUDIT.render(limit=limit, kind=kind)
+        if not lines:
+            self._print("audit journal is empty")
+            return
+        for line in lines:
+            self._print(line)
 
     def _cmd_trace(self, args: list[str]) -> None:
         usage = ("usage: trace on|off|status|clear | trace export <path> "

@@ -22,6 +22,7 @@ caches keyed by ``scope_epoch`` never serve stale data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.history import HistoryRecord
 from repro.errors import ThreadError
@@ -54,6 +55,17 @@ class ControlStream:
         self._next = 1
         self._epoch = 0
         self._scope_epoch = 0
+        #: Audit hook: called as ``on_destructive(kind, details)`` after a
+        #: destructive mutation (``remove_points``, ``splice_out``,
+        #: ``replace_region``) succeeds.  Installing it here — at the single
+        #: choke point every erase/abstraction path funnels through — is what
+        #: makes the audit journal's exactly-once guarantee hold no matter
+        #: which caller (rework, reclamation, shell) triggered the mutation.
+        self.on_destructive: Callable[[str, dict], None] | None = None
+
+    def _audit(self, kind: str, **details) -> None:
+        if self.on_destructive is not None:
+            self.on_destructive(kind, details)
 
     # --------------------------------------------------------------- epochs
 
@@ -245,6 +257,7 @@ class ControlStream:
         # Surviving per-node caches stay valid (no survivor descends from a
         # removed node), but result caches may hold the removed points.
         self._bump(states_changed=True)
+        self._audit("erase", points=sorted(points), records=len(removed))
         return removed
 
     def erase_subtree(self, point: int) -> list[HistoryRecord]:
@@ -356,6 +369,7 @@ class ControlStream:
         del self._nodes[point]
         self._drop_cached_scopes(affected)
         self._bump(states_changed=True)
+        self._audit("splice_out", point=point, task=node.record.task)
         return node.record
 
     def replace_region(
@@ -396,4 +410,7 @@ class ControlStream:
         # (reduced) output set instead of the replaced records' objects.
         self._drop_cached_scopes(self.descendants(summary_node.number))
         self._bump(states_changed=True)
+        self._audit("replace_region", points=sorted(points),
+                    summary_point=summary_node.number,
+                    summary_task=summary.task)
         return summary_node.number

@@ -124,6 +124,11 @@ class SynchronizationDataSpace:
         previous = self.versions_of(resolved.base)
         self._index_add(resolved)
         METRICS.counter("sds.moves", direction="contribute").inc()
+        from repro.obs.provenance import AUDIT  # lazy: obs sits above core
+
+        AUDIT.record("move", thread=thread.name, actor=thread.owner,
+                     at=self.clock.now, direction="contribute",
+                     sds=self.name, object=str(resolved))
         if TRACER.enabled:
             TRACER.event("sds.move", cat="sds", direction="contribute",
                          sds=self.name, thread=thread.name,
@@ -163,6 +168,11 @@ class SynchronizationDataSpace:
                       propagate=propagate)
             )
         METRICS.counter("sds.moves", direction="retrieve").inc()
+        from repro.obs.provenance import AUDIT  # lazy: obs sits above core
+
+        AUDIT.record("move", thread=thread.name, actor=thread.owner,
+                     at=self.clock.now, direction="retrieve",
+                     sds=self.name, object=str(oname))
         if TRACER.enabled:
             TRACER.event("sds.move", cat="sds", direction="retrieve",
                          sds=self.name, thread=thread.name,

@@ -9,6 +9,7 @@ pre-planned snapshots.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 from typing import TYPE_CHECKING
 
@@ -66,6 +67,36 @@ class DesignThread:
         #: Last time each design point was visited or created (drives the
         #: dead-end-branch garbage collector, §5.4).
         self.point_access: dict[int, float] = {INITIAL_POINT: self.clock.now}
+        #: Reason attached to the next audited destructive mutation (set via
+        #: the :meth:`audit_reason` context manager by rework/reclamation).
+        self._audit_reason = ""
+        self.wire_audit()
+
+    # ---------------------------------------------------------------- auditing
+
+    def wire_audit(self) -> None:
+        """Install the destructive-mutation hook on the current stream.
+
+        Must be re-called whenever ``self.stream`` is *replaced* (cascade,
+        join, persistence restore) — the hook lives on the stream object.
+        """
+        self.stream.on_destructive = self._on_stream_destructive
+
+    def _on_stream_destructive(self, kind: str, details: dict) -> None:
+        from repro.obs.provenance import AUDIT
+
+        AUDIT.record(kind, thread=self.name, actor=self.owner,
+                     reason=self._audit_reason, at=self.clock.now, **details)
+
+    @contextlib.contextmanager
+    def audit_reason(self, reason: str):
+        """Attribute a reason to destructive mutations inside the block."""
+        previous = self._audit_reason
+        self._audit_reason = reason
+        try:
+            yield
+        finally:
+            self._audit_reason = previous
 
     def __repr__(self) -> str:
         return (f"<DesignThread {self.thread_id} {self.name!r} "
@@ -105,7 +136,8 @@ class DesignThread:
         if TRACER.enabled:
             TRACER.event("thread.commit", cat="thread", thread=self.name,
                          point=point, task=record.task,
-                         spliced=follow_path)
+                         spliced=follow_path,
+                         outputs=list(record.outputs))
         return point
 
     # ----------------------------------------------------------------- rework
@@ -144,7 +176,8 @@ class DesignThread:
             if child in on_path:
                 doomed.add(child)
                 doomed.update(self.stream.descendants(child))
-        removed = self.stream.remove_points(doomed)
+        with self.audit_reason(self._audit_reason or "erase-on-rework"):
+            removed = self.stream.remove_points(doomed)
         self.prune_point_access()
         METRICS.counter("thread.branches_erased").inc()
         if TRACER.enabled:

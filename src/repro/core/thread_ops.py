@@ -16,6 +16,15 @@ from repro.errors import ThreadError
 from repro.obs import METRICS, TRACER
 
 
+def _audit():
+    # Imported lazily: provenance sits above core in the layer diagram, and
+    # a module-level import would also make `python -m repro.obs.provenance`
+    # trip runpy's re-import warning.
+    from repro.obs.provenance import AUDIT
+
+    return AUDIT
+
+
 def _lineage(*threads: DesignThread) -> tuple[DerivationCache, ...]:
     """The non-None derivation caches of the given threads, in order."""
     return tuple(t.memo for t in threads if t.memo is not None)
@@ -51,6 +60,8 @@ def fork(
     # reads through to the parent's (writes stay local to the child).
     child.memo = DerivationCache(child.stream, parents=_lineage(source))
     METRICS.counter("thread.forks").inc()
+    _audit().record("fork", thread=name, actor=child.owner,
+                    at=source.clock.now, source=source.name, inherit=inherit)
     if TRACER.enabled:
         TRACER.event("thread.fork", cat="thread", source=source.name,
                      child=name, inherit=inherit)
@@ -88,6 +99,7 @@ def cascade(
     _require_frontier(lead, connector, "cascade")
     merged = DesignThread(name, db=lead.db, owner=lead.owner, clock=lead.clock)
     merged.stream, lead_map = lead.stream.copy()
+    merged.wire_audit()  # the constructor's hook died with the old stream
     merged.scope = DataScope(merged.stream)
     # The copy preserves the lead points' thread states (and carries their
     # per-node stride caches); warm the merged scope's result caches too so
@@ -103,6 +115,8 @@ def cascade(
                       if p in trail_map]
     merged.current_cursor = max(trail_frontier, default=lead_map[connector])
     METRICS.counter("thread.cascades").inc()
+    _audit().record("cascade", thread=name, actor=merged.owner,
+                    at=lead.clock.now, lead=lead.name, trail=trail.name)
     if TRACER.enabled:
         TRACER.event("thread.cascade", cat="thread", lead=lead.name,
                      trail=trail.name, merged=name)
@@ -130,6 +144,7 @@ def join(
     merged = DesignThread(name, db=first.db, owner=first.owner,
                           clock=first.clock)
     merged.stream, first_map = first.stream.copy()
+    merged.wire_audit()  # the constructor's hook died with the old stream
     merged.scope = DataScope(merged.stream)
     merged.scope.seed_from(first.scope, first_map)
     merged.memo = DerivationCache(merged.stream,
@@ -140,6 +155,9 @@ def join(
     merged.scope.seed_from(second.scope, second_map)
     merged.extra_objects = set(first.extra_objects) | set(second.extra_objects)
     METRICS.counter("thread.joins").inc()
+    _audit().record("join", thread=name, actor=merged.owner,
+                    at=first.clock.now, first=first.name, second=second.name,
+                    at_end=at_end)
     if TRACER.enabled:
         TRACER.event("thread.join", cat="thread", first=first.name,
                      second=second.name, merged=name, at_end=at_end)

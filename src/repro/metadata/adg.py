@@ -27,6 +27,7 @@ class DerivationEdge:
     step: str                      # step name in the task template
     task: str                      # owning task template
     at: float                      # completion time
+    reused: bool = False           # derivation-cache hit, not an execution
 
 
 class AugmentedDerivationGraph:
@@ -36,6 +37,10 @@ class AugmentedDerivationGraph:
         self._producer: dict[str, DerivationEdge] = {}      # output -> edge
         self._consumers: dict[str, list[DerivationEdge]] = {}
         self._objects: set[str] = set()
+        #: Reuse links (alias version → source version): a memo hit's output
+        #: is a real node whose derivation is "same as the source's" — these
+        #: links keep it attached to the graph instead of orphaned.
+        self._reuse_source: dict[str, str] = {}
 
     # ----------------------------------------------------------- construction
 
@@ -64,6 +69,7 @@ class AugmentedDerivationGraph:
                 step=step.name,
                 task=task,
                 at=step.completed_at,
+                reused=bool(getattr(step, "reused", False)),
             )
             self._producer[output] = edge
             self._objects.add(output)
@@ -79,6 +85,17 @@ class AugmentedDerivationGraph:
         for step in record.steps:
             edges.extend(self.add_step(step, task=record.task))
         return edges
+
+    def note_alias(self, alias: str, source: str) -> None:
+        """Attach a reuse link: ``alias`` is a fresh version materialized
+        from ``source``'s payload by a derivation-cache hit."""
+        if alias not in self._reuse_source:
+            self._reuse_source[alias] = source
+            self._objects.update((alias, source))
+
+    def reuse_source(self, name: str) -> str | None:
+        """The version a reused output aliases (None if an original)."""
+        return self._reuse_source.get(name)
 
     # ---------------------------------------------------------------- queries
 
@@ -108,8 +125,15 @@ class AugmentedDerivationGraph:
         return list(self._consumers.get(name, ()))
 
     def sources(self) -> list[str]:
-        """Objects with no recorded producer (primary inputs of the design)."""
-        return sorted(self._objects - set(self._producer))
+        """Objects with no recorded producer (primary inputs of the design).
+
+        Reused versions (memo aliases) are excluded: their derivation is the
+        aliased source's, so they are never *primary* inputs even when no
+        edge names them as an output.
+        """
+        return sorted(
+            self._objects - set(self._producer) - set(self._reuse_source)
+        )
 
     def derivation_history(self, name: str) -> list[DerivationEdge]:
         """The complete rebuild procedure for an object, in dependency order

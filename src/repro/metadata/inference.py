@@ -136,6 +136,15 @@ class MetadataInferenceEngine:
         """Consume one committed task's history."""
         for edge in self.adg.add_record(record):
             self._infer(edge)
+        # Reused steps materialized their outputs as database aliases; carry
+        # the reuse back-links so no memoized version is a lineage orphan.
+        for step in record.steps:
+            if not getattr(step, "reused", False):
+                continue
+            for output in step.outputs:
+                source = self.db.alias_source(output)
+                if source is not None:
+                    self.adg.note_alias(output, source)
 
     def observe_step(self, step, task: str = "") -> None:
         for edge in self.adg.add_step(step, task=task):

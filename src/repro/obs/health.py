@@ -119,6 +119,7 @@ def default_ruleset(
     memo_eviction_rate: float = 1.0,
     notify_fanout_p99: float = 32.0,
     step_latency_p99: float = 3600.0,
+    reclaim_churn_rate: float = 5.0,
 ) -> list[AlertRule]:
     """The shipped ruleset for a standard Papyrus installation.
 
@@ -160,6 +161,12 @@ def default_ruleset(
             step_latency_p99, ">", "crit",
             description="tool-execution tail latency exceeds an hour of "
                         "simulated time (p99 across tools)"),
+        AlertRule(
+            "reclaim_churn", "rate:reclaim.objects_swept",
+            reclaim_churn_rate, ">", "warn",
+            description="reclamation is tombstoning objects faster than "
+                        "design work plausibly produces them — an aging "
+                        "threshold is probably misconfigured"),
         AlertRule(
             "trace_dropped", "trace:dropped", 0, ">", "warn",
             description="the bounded trace buffer overflowed; the record "

@@ -32,6 +32,7 @@ CATEGORIES = (
     "sds",       # MOVE operations and change notifications
     "db",        # octdb version creation, tombstoning, reclamation
     "clock",     # virtual-clock advances
+    "audit",     # destructive history mutations (the audit journal's mirror)
 )
 
 

@@ -77,6 +77,11 @@ class DesignDatabase:
         self.clock = clock or GLOBAL_CLOCK
         self._versions: dict[str, list[_Entry]] = {}
         self._bytes_live = 0
+        #: Reuse back-links: alias version → source version (and the reverse
+        #: index).  Without them a memo-materialized version is a lineage
+        #: orphan — nothing records which committed computation it reuses.
+        self._alias_sources: dict[str, str] = {}
+        self._aliased_by: dict[str, list[str]] = {}
 
     # ------------------------------------------------------------------ write
 
@@ -141,11 +146,33 @@ class DesignDatabase:
             size=0,
         )
         chain.append(_Entry(obj=obj, last_access=self.clock.now))
+        self._note_alias(str(obj.name), str(source.name))
         METRICS.counter("db.versions_aliased").inc()
         if TRACER.enabled:
             TRACER.event("db.alias", cat="db", object=str(obj.name),
                          source=str(source.name))
         return obj
+
+    def _note_alias(self, alias: str, source: str) -> None:
+        if alias not in self._alias_sources:
+            self._alias_sources[alias] = source
+            self._aliased_by.setdefault(source, []).append(alias)
+
+    # ---------------------------------------------------------- reuse lineage
+
+    def alias_source(self, name: str | ObjectName) -> str | None:
+        """The versioned name this version aliases, or None if original."""
+        oname = parse_name(name) if isinstance(name, str) else name
+        return self._alias_sources.get(str(oname))
+
+    def aliases_of(self, name: str | ObjectName) -> list[str]:
+        """Versions that reuse this version's payload (creation order)."""
+        oname = parse_name(name) if isinstance(name, str) else name
+        return list(self._aliased_by.get(str(oname), ()))
+
+    def aliases(self) -> dict[str, str]:
+        """The full alias → source mapping (provenance join input)."""
+        return dict(self._alias_sources)
 
     # ------------------------------------------------------------------- read
 

@@ -8,6 +8,7 @@ payload classes register a codec (``to_dict``/``from_dict``) under a type tag.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from pathlib import Path
 from typing import Any, Callable
@@ -76,6 +77,9 @@ def save_database(db: DesignDatabase, path: str | Path) -> None:
                     payload=encode_payload(entry.obj.payload),
                 )
             doc["objects"].append(record)
+    aliases = db.aliases()
+    if aliases:
+        doc["aliases"] = aliases
     Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
 
 
@@ -106,4 +110,19 @@ def load_database(path: str | Path, db: DesignDatabase | None = None) -> DesignD
             )
         )
         db._bytes_live += obj.size
+    # Restore reuse back-links and re-establish alias semantics: an alias
+    # entry shares its source's payload and accounts zero storage.  Without
+    # this rebinding a restored alias would double-count its payload bytes
+    # and lose the lineage that marks it as a reused version.
+    for alias, source in doc.get("aliases", {}).items():
+        db._note_alias(alias, source)
+        try:
+            alias_entry = db._entry(alias)
+            source_entry = db._entry(source)
+        except Exception:
+            continue
+        db._bytes_live -= alias_entry.obj.size
+        alias_entry.obj = dataclasses.replace(
+            alias_entry.obj, payload=source_entry.obj.payload, size=0
+        )
     return db

@@ -742,6 +742,8 @@ class TaskExecution:
                 f"step:{pending.spec.name}", "step", now, now,
                 tool=call.tool, host="(memo)", status=0,
                 step=pending.label, instance=self.instance, reused=True,
+                options=list(call.options), inputs=list(call.input_names),
+                outputs=list(outputs_created),
             )
             TRACER.event("step.reused", cat="step", step=pending.label,
                          tool=call.tool, saved=entry.cost,
@@ -826,6 +828,8 @@ class TaskExecution:
                 tool=call.tool, host=proc.host, pid=proc.pid,
                 status=result.status, step=pending.label,
                 instance=self.instance,
+                options=list(call.options), inputs=list(call.input_names),
+                outputs=list(outputs_created),
             )
             TRACER.event("step.complete", cat="step", step=pending.label,
                          status=result.status, host=proc.host,

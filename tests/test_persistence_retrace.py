@@ -119,6 +119,62 @@ class TestPersistence:
             load_system(directory, LWTSystem(clock=VirtualClock()))
 
 
+class TestProvenanceRoundTrip:
+    def test_why_byte_identical_after_restore(self, session, tmp_path):
+        from repro.obs.provenance import ProvenanceGraph, render_why
+
+        papyrus, designer = session
+        papyrus.observe_history(designer)
+        before = render_why(ProvenanceGraph.from_papyrus(papyrus), "s.pla@1")
+        assert any("<=" in line for line in before)
+
+        save_system(papyrus.lwt, tmp_path / "snap")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        after_graph = ProvenanceGraph.from_threads(
+            restored.threads.values(), db=restored.db)
+        assert render_why(after_graph, "s.pla@1") == before
+
+    def test_audit_journal_survives_restore(self, session, tmp_path):
+        from repro.obs.provenance import AUDIT
+
+        papyrus, designer = session
+        AUDIT.clear()
+        sc_point = designer.thread.find_annotation("the SC attempt")
+        designer.move_cursor(sc_point)
+        parent = designer.thread.stream.node(sc_point).parents[0]
+        designer.move_cursor(parent, erase=True)
+        assert AUDIT.entries(kind="erase")
+        entries_before = AUDIT.to_dicts()
+
+        save_system(papyrus.lwt, tmp_path / "snap")
+        AUDIT.clear()
+        load_system(tmp_path / "snap", LWTSystem(clock=VirtualClock()))
+        assert AUDIT.to_dicts() == entries_before
+        # the sequence counter continues past the restored entries
+        AUDIT.record("reclaim", thread="work", actor="chiueh")
+        assert AUDIT.to_dicts()[-1]["seq"] == entries_before[-1]["seq"] + 1
+
+    def test_restored_stream_still_audits(self, session, tmp_path):
+        """The destructive-mutation hook must be rewired onto the stream
+        object rebuilt by thread_from_dict."""
+        from repro.obs.provenance import AUDIT
+
+        papyrus, designer = session
+        save_system(papyrus.lwt, tmp_path / "snap")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        AUDIT.clear()
+        thread = restored.thread("work")
+        sc_point = thread.find_annotation("the SC attempt")
+        thread.move_cursor(sc_point)
+        parent = thread.stream.node(sc_point).parents[0]
+        thread.move_cursor(parent, erase=True)
+        erased = AUDIT.entries(kind="erase")
+        assert len(erased) == 1
+        assert erased[0].thread == "work"
+
+
 class TestRetrace:
     def _setup(self):
         papyrus = Papyrus.standard(hosts=2)

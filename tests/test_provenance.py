@@ -1,0 +1,293 @@
+"""Tests for the provenance graph, lineage queries, and the audit journal."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Papyrus, obs
+from repro.activity.reclamation import Reclaimer
+from repro.core.control_stream import INITIAL_POINT
+from repro.core.history import HistoryRecord
+from repro.core.thread import DesignThread
+from repro.core.thread_ops import cascade, fork, join
+from repro.obs.provenance import (AUDIT, ProvenanceGraph, check_lineage,
+                                  render_blame, render_impact, render_why)
+from repro.octdb import DesignDatabase
+
+
+def _flow(designer) -> list[int]:
+    """A small spec → logic → {simulation, PLA} exploration."""
+    points = [designer.invoke("Create_Logic_Description",
+                              {"Spec": "shifter.spec"},
+                              {"Outcell": "sh.logic"})]
+    points.append(designer.invoke("Logic_Simulator",
+                                  {"Incell": "sh.logic",
+                                   "Command": "musa.cmd"},
+                                  {"Report": "sh.sim"}))
+    points.append(designer.invoke("PLA_Generation", {"Incell": "sh.logic"},
+                                  {"Outcell": "sh.pla"}))
+    return points
+
+
+@pytest.fixture
+def replayed():
+    """Cold run plus an unchanged replay: the replay's outputs are memo
+    aliases of the cold run's, so the graph carries reuse attribution."""
+    papyrus = Papyrus.standard(hosts=2)
+    designer = papyrus.open_thread("work", owner="chiueh")
+    _flow(designer)
+    designer.move_cursor(INITIAL_POINT)
+    _flow(designer)
+    for manager in papyrus.activities.values():
+        papyrus.observe_history(manager)
+    return papyrus, ProvenanceGraph.from_papyrus(papyrus)
+
+
+class TestWhy:
+    def test_chain_reaches_primary_sources(self, replayed):
+        _, graph = replayed
+        chain = graph.why("sh.sim@1")
+        assert chain, "no derivation chain for sh.sim@1"
+        sources = set(graph.primary_sources("sh.sim@1"))
+        assert sources == {"musa.cmd@1", "shifter.spec@1"}
+        # topological: every hop input is a primary source or was produced
+        # by an earlier hop in the chain.
+        produced: set[str] = set()
+        for hop in chain:
+            for name in hop.inputs:
+                assert name in sources or name in produced, name
+            produced.add(hop.output)
+        assert chain[-1].output == "sh.sim@1"
+
+    def test_reused_hops_attributed(self, replayed):
+        _, graph = replayed
+        chain = graph.why("sh.pla@2")
+        reused = [h for h in chain if h.reused]
+        assert reused, "replay chain shows no reused hops"
+        for hop in reused:
+            assert hop.reused_from, f"reused hop {hop.output} unattributed"
+        assert graph.alias_source("sh.pla@2") == "sh.pla@1"
+
+    def test_no_lineage_problems(self, replayed):
+        papyrus, graph = replayed
+        assert check_lineage(graph, "sh.pla@2", papyrus.inference.adg) == []
+
+    def test_render_why_deterministic(self, replayed):
+        papyrus, graph = replayed
+        again = ProvenanceGraph.from_papyrus(papyrus)
+        assert render_why(graph, "sh.pla@2") == render_why(again, "sh.pla@2")
+
+
+class TestBlameAndImpact:
+    def test_blame_lists_every_version(self, replayed):
+        _, graph = replayed
+        rows = graph.blame("sh.pla")
+        assert [name for name, _, _ in rows] == ["sh.pla@1", "sh.pla@2"]
+        assert all(hop is not None for _, hop, _ in rows)
+        text = render_blame(graph, "sh.pla")
+        assert any("sh.pla@1" in line for line in text)
+
+    def test_impact_matches_adg(self, replayed):
+        papyrus, graph = replayed
+        adg = papyrus.inference.adg
+        assert graph.impact("shifter.spec@1", include_aliases=False) == \
+            adg.affected_set("shifter.spec@1")
+        assert any("affected version" in line
+                   for line in render_impact(graph, "shifter.spec@1"))
+
+    def test_memo_aliases_are_not_primary_sources(self, replayed):
+        papyrus, graph = replayed
+        adg = papyrus.inference.adg
+        for source in graph.primary_sources("sh.pla@2"):
+            assert graph.alias_source(source) is None
+            assert adg.reuse_source(source) is None
+
+
+class TestExports:
+    def test_dot_export(self, replayed):
+        _, graph = replayed
+        dot = graph.to_dot()
+        assert dot.startswith("digraph")
+        assert "sh.pla@2" in dot
+        assert "reused" in dot   # dashed alias edges are labelled
+
+    def test_jsonl_export_stable(self, replayed, tmp_path):
+        _, graph = replayed
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        count = graph.export_jsonl(str(first))
+        graph.export_jsonl(str(second))
+        assert count > 0
+        assert first.read_text() == second.read_text()
+        kinds = {json.loads(line)["kind"]
+                 for line in first.read_text().splitlines()}
+        assert kinds <= {"hop", "alias", "commit"}
+
+    def test_from_jsonl_matches_live(self, tmp_path):
+        obs.TRACER.clear()
+        papyrus = Papyrus.standard(hosts=2)
+        obs.TRACER.enable(clock=papyrus.clock)
+        try:
+            designer = papyrus.open_thread("work", owner="chiueh")
+            _flow(designer)
+            designer.move_cursor(INITIAL_POINT)
+            _flow(designer)
+            path = tmp_path / "trace.jsonl"
+            obs.TRACER.export_jsonl(str(path))
+        finally:
+            obs.TRACER.disable()
+            obs.TRACER.clear()
+        live = ProvenanceGraph.from_papyrus(papyrus)
+        streamed = ProvenanceGraph.from_jsonl(str(path))
+        assert render_why(streamed, "sh.pla@2") == \
+            render_why(live, "sh.pla@2")
+        assert streamed.impact("shifter.spec@1") == \
+            live.impact("shifter.spec@1")
+
+
+class TestAuditJournal:
+    def test_thread_ops_audited(self):
+        AUDIT.clear()
+        papyrus = Papyrus.standard(hosts=2)
+        a = papyrus.open_thread("a", owner="x")
+        a.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                 {"Outcell": "a.logic"})
+        fork(a.thread, "a-child")
+        b = papyrus.open_thread("b", owner="y")
+        b.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                 {"Outcell": "b.logic"})
+        cascade(a.thread, b.thread, "merged")
+        join(a.thread, b.thread, "joined")
+        assert [e.kind for e in AUDIT] == ["fork", "cascade", "join"]
+
+    def test_merged_thread_still_audits(self):
+        """cascade/join replace the merged thread's stream object; the
+        destructive hook must be rewired onto the replacement."""
+        AUDIT.clear()
+        papyrus = Papyrus.standard(hosts=2)
+        a = papyrus.open_thread("a", owner="x")
+        a.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                 {"Outcell": "a.logic"})
+        b = papyrus.open_thread("b", owner="y")
+        b.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                 {"Outcell": "b.logic"})
+        merged = cascade(a.thread, b.thread, "merged")
+        AUDIT.clear()
+        tip = merged.stream.frontier()[0]
+        merged.stream.remove_points({tip})
+        erased = AUDIT.entries(kind="erase")
+        assert len(erased) == 1 and erased[0].thread == "merged"
+
+    def test_sds_moves_audited(self):
+        AUDIT.clear()
+        papyrus = Papyrus.standard(hosts=2)
+        a = papyrus.open_thread("a", owner="x")
+        a.invoke("Create_Logic_Description", {"Spec": "shifter.spec"},
+                 {"Outcell": "a.logic"})
+        b = papyrus.open_thread("b", owner="y")
+        sds = papyrus.lwt.create_sds("X", [a.thread, b.thread])
+        AUDIT.clear()
+        sds.contribute(a.thread, "a.logic")
+        sds.retrieve(b.thread, "a.logic")
+        moves = AUDIT.entries(kind="move")
+        assert [m.details["direction"] for m in moves] == \
+            ["contribute", "retrieve"]
+        assert moves[0].details["sds"] == "X"
+
+    def test_reclamation_audited_and_metered(self):
+        AUDIT.clear()
+        papyrus = Papyrus.standard(hosts=2)
+        designer = papyrus.open_thread("work", owner="chiueh")
+        _flow(designer)
+        swept_before = obs.METRICS.counter("reclaim.objects_swept").value
+        papyrus.clock.advance(365 * 24 * 3600.0)
+        report = Reclaimer(designer.thread).sweep(reclaim_grace=0.0)
+        kinds = {e.kind for e in AUDIT}
+        assert "reclaim" in kinds
+        sweeps = AUDIT.entries(kind="reclaim")
+        assert sweeps[-1].details["records_abstracted"] == \
+            report.records_abstracted
+        if report.objects_deleted:
+            assert obs.METRICS.counter("reclaim.objects_swept").value > \
+                swept_before
+
+    def test_reclaim_churn_rule_shipped(self):
+        from repro.obs.health import default_ruleset
+
+        names = [rule.name for rule in default_ruleset()]
+        assert "reclaim_churn" in names
+
+    def test_render_and_export_roundtrip(self, tmp_path):
+        AUDIT.clear()
+        AUDIT.record("erase", thread="t", actor="u", reason="why not",
+                     at=1.0, points=[3, 4])
+        AUDIT.record("move", thread="t", actor="u", at=2.0,
+                     direction="contribute", sds="X", object="a@1")
+        lines = AUDIT.render()
+        assert len(lines) == 2 and "erase" in lines[0]
+        path = tmp_path / "audit.jsonl"
+        assert AUDIT.export_jsonl(str(path)) == 2
+        dumped = [json.loads(line) for line in
+                  path.read_text().splitlines()]
+        saved = AUDIT.to_dicts()
+        AUDIT.clear()
+        AUDIT.restore(dumped)
+        assert AUDIT.to_dicts() == saved
+
+
+def _rec(task: str = "t") -> HistoryRecord:
+    return HistoryRecord(task=task, inputs=(), outputs=(), steps=())
+
+
+class TestExactlyOnce:
+    """Every destructive history mutation journals exactly once — no matter
+    which code path triggers it."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.sampled_from(["append", "erase", "splice",
+                                     "collapse"]),
+                    min_size=1, max_size=12))
+    def test_random_mutation_sequence(self, ops):
+        AUDIT.clear()
+        thread = DesignThread("w", db=DesignDatabase(), owner="x")
+        stream = thread.stream
+        tip = INITIAL_POINT
+
+        def grow(n: int = 1) -> None:
+            nonlocal tip
+            for _ in range(n):
+                tip = stream.append(_rec(), tip)
+
+        grow(3)
+        expected: list[str] = []
+        for op in ops:
+            if op == "append":
+                grow()
+                continue
+            # keep a chain deep enough for interior surgery
+            if len(stream.ancestors(tip)) < 4:
+                grow(3)
+            if op == "erase":
+                doomed = tip
+                tip = stream.node(doomed).parents[0]
+                stream.remove_points({doomed})
+                expected.append("erase")
+            elif op == "splice":
+                mid = stream.node(tip).parents[0]
+                stream.splice_out(mid)
+                expected.append("splice_out")
+            elif op == "collapse":
+                oldest = stream.node(INITIAL_POINT).children[0]
+                if oldest == tip:
+                    grow(2)
+                summary = HistoryRecord(task="*", inputs=(), outputs=(),
+                                        steps=())
+                stream.replace_region({oldest}, summary)
+                expected.append("replace_region")
+        destructive = [e.kind for e in AUDIT
+                       if e.kind in ("erase", "splice_out",
+                                     "replace_region")]
+        assert destructive == expected
+        assert len(AUDIT) == len(expected)
