@@ -2,25 +2,39 @@
 
 The thesis keeps a persistent copy of the control streams for inter-process
 communication (the reclaimer runs as a separate process) and to survive
-session restarts.  Here the whole LWT state — threads with their control
-streams, cursors, checked-in objects, annotations, and the SDS registry —
-serializes to one JSON document next to the database snapshot.
+session restarts.  Two generations of the on-disk layout coexist:
+
+* **format 1** — one monolithic ``history.json`` + ``database.json`` with
+  every payload embedded.  Still readable; no longer written by default.
+* **format 2** — the scale-out layout: ``database.json`` is a thin manifest
+  over a content-addressed ``objects/`` chunk store, ``history.json`` holds
+  the thread/SDS/audit snapshot, and ``journal.jsonl`` is a write-ahead
+  journal of typed mutation entries.  :func:`load_system` restores from
+  *snapshot + journal replay* with lazily materialized payloads, so restore
+  cost is O(touched objects), and a :class:`PersistentSession` turns
+  ``save`` into "write new chunks + fsync the journal" instead of
+  re-serializing the world.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.control_stream import INITIAL_POINT, ControlStream
 from repro.core.history import HistoryRecord, StepRecord
 from repro.core.memo import DerivationCache
 from repro.core.lwt import LWTSystem
 from repro.core.thread import DesignThread
-from repro.errors import ThreadError
-from repro.octdb.naming import parse_name
-from repro.octdb.persistence import load_database, save_database
+from repro.errors import PersistenceError, ThreadError
+from repro.obs import METRICS, TRACER
+from repro.octdb.chunkstore import ChunkStore, LazyPayload
+from repro.octdb.database import VersionedObject, _Entry
+from repro.octdb.naming import ObjectName, parse_name
+from repro.octdb.persistence import LazyChainMap, load_database, save_database
 
 
 def _audit():
@@ -30,7 +44,8 @@ def _audit():
 
     return AUDIT
 
-FORMAT_VERSION = 1
+FORMAT_V1 = 1
+FORMAT_VERSION = 2
 
 
 # ----------------------------------------------------------------- records
@@ -98,12 +113,11 @@ def stream_to_dict(stream: ControlStream) -> dict:
     return {"nodes": nodes, "next": stream._next}
 
 
-def stream_from_dict(data: dict) -> ControlStream:
-    stream = ControlStream()
-    stream._nodes.clear()
-    for nd in data["nodes"]:
-        from repro.core.control_stream import RecordNode
+def _nodes_from_doc(data: dict) -> tuple[dict, int]:
+    from repro.core.control_stream import RecordNode
 
+    nodes: dict[int, RecordNode] = {}
+    for nd in data["nodes"]:
         node = RecordNode(
             number=nd["number"],
             record=(record_from_dict(nd["record"])
@@ -111,11 +125,62 @@ def stream_from_dict(data: dict) -> ControlStream:
             parents=list(nd["parents"]),
             children=list(nd["children"]),
         )
-        stream._nodes[node.number] = node
-    stream._next = data["next"]
-    if INITIAL_POINT not in stream._nodes:
+        nodes[node.number] = node
+    if INITIAL_POINT not in nodes:
         raise ThreadError("persisted stream lacks the initial design point")
+    return nodes, data["next"]
+
+
+def stream_from_dict(data: dict) -> ControlStream:
+    stream = ControlStream()
+    stream._nodes, stream._next = _nodes_from_doc(data)
     return stream
+
+
+class LazyStream(ControlStream):
+    """A restored control stream that decodes its nodes on first access.
+
+    Rebuilding every :class:`HistoryRecord` of every thread up front makes
+    restore O(history); parking the raw node documents here keeps a thread
+    that is never touched free.  Hydration happens in place — behind the
+    ``_nodes``/``_next`` properties — on the first real operation, so every
+    holder of the stream object (scope, derivation cache, audit hooks) sees
+    the decoded structure without rebinding.
+    """
+
+    _raw: dict | None = None
+
+    def __init__(self, doc: dict):
+        super().__init__()
+        self._raw = doc
+
+    @property
+    def hydrated(self) -> bool:
+        return self._raw is None
+
+    def _hydrate(self) -> None:
+        raw, self._raw = self._raw, None
+        self.__dict__["_nodes"], self.__dict__["_next"] = _nodes_from_doc(raw)
+
+    @property
+    def _nodes(self) -> dict:
+        if self._raw is not None:
+            self._hydrate()
+        return self.__dict__["_nodes"]
+
+    @_nodes.setter
+    def _nodes(self, value: dict) -> None:
+        self.__dict__["_nodes"] = value
+
+    @property
+    def _next(self) -> int:
+        if self._raw is not None:
+            self._hydrate()
+        return self.__dict__["_next"]
+
+    @_next.setter
+    def _next(self, value: int) -> None:
+        self.__dict__["_next"] = value
 
 
 # ----------------------------------------------------------------- threads
@@ -135,15 +200,21 @@ def thread_to_dict(thread: DesignThread) -> dict:
 
 def thread_from_dict(data: dict, lwt: LWTSystem) -> DesignThread:
     thread = lwt.create_thread(data["name"], owner=data.get("owner", ""))
-    thread.stream = stream_from_dict(data["stream"])
+    thread.stream = LazyStream(data["stream"])
     thread.wire_audit()  # the constructor's hook died with the old stream
     thread.scope.stream = thread.stream
-    # Rebind and warm the derivation cache: the restored history is exactly
-    # the committed-step knowledge it feeds on, so a restored session reuses
-    # derivations from before the save.
+    # Rebind the derivation cache and defer its warming: the restored
+    # history is exactly the committed-step knowledge it feeds on, but
+    # fingerprinting every historical input payload up front would make
+    # restore O(history) — and force-decode every chunk.  The loader runs
+    # on the cache's first use instead, so a session that never reworks
+    # never pays for it.
     thread.memo = DerivationCache(thread.stream)
-    for record in thread.stream.records():
-        thread.memo.populate(record, lwt.db)
+    db = lwt.db
+    thread.memo.defer_populate(
+        lambda cache: sum(cache.populate(r, db)
+                          for r in thread.stream.records())
+    )
     thread.current_cursor = data["current_cursor"]
     thread.extra_objects = set(data.get("extra_objects", ()))
     thread.point_access = {
@@ -155,13 +226,9 @@ def thread_from_dict(data: dict, lwt: LWTSystem) -> DesignThread:
 # ------------------------------------------------------------------ system
 
 
-def save_system(lwt: LWTSystem, directory: str | Path) -> Path:
-    """Persist a whole LWT installation (database + threads + SDS links)."""
-    directory = Path(directory)
-    directory.mkdir(parents=True, exist_ok=True)
-    save_database(lwt.db, directory / "database.json")
+def _system_doc(lwt: LWTSystem, fmt: int) -> dict[str, Any]:
     doc: dict[str, Any] = {
-        "format": FORMAT_VERSION,
+        "format": fmt,
         "now": lwt.clock.now,
         "threads": [thread_to_dict(t) for t in lwt.threads.values()],
         "spaces": [
@@ -176,7 +243,45 @@ def save_system(lwt: LWTSystem, directory: str | Path) -> Path:
         ],
         "audit": _audit().to_dicts(),
     }
-    (directory / "history.json").write_text(json.dumps(doc, indent=1))
+    return doc
+
+
+def save_system(
+    lwt: LWTSystem,
+    directory: str | Path,
+    fmt: int = FORMAT_VERSION,
+    store: ChunkStore | None = None,
+) -> Path:
+    """Persist a whole LWT installation (database + threads + SDS links).
+
+    This is a full *checkpoint*: format 2 (the default) writes the thin
+    manifests plus any chunks not already in the ``objects/`` store and
+    truncates the write-ahead journal; ``fmt=1`` writes the legacy
+    single-JSON layout.  For incremental saves use
+    :class:`PersistentSession`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if fmt == FORMAT_V1:
+        save_database(lwt.db, directory / "database.json")
+        doc = _system_doc(lwt, FORMAT_V1)
+        (directory / "history.json").write_text(json.dumps(doc, indent=1))
+        return directory
+    if fmt != FORMAT_VERSION:
+        raise ThreadError(f"unsupported history format {fmt!r}")
+    if store is None:
+        store = ChunkStore(directory / "objects")
+    save_database(lwt.db, directory / "database.json", store=store)
+    doc = _system_doc(lwt, FORMAT_VERSION)
+    (directory / "history.json").write_text(
+        json.dumps(doc, indent=1, sort_keys=True)
+    )
+    # A checkpoint supersedes the journal: every journaled mutation is now
+    # part of the snapshot, and replaying stale entries on top of it would
+    # corrupt the restore.
+    journal = directory / "journal.jsonl"
+    if journal.exists():
+        journal.unlink()
     return directory
 
 
@@ -185,16 +290,21 @@ def load_system(directory: str | Path, lwt: LWTSystem | None = None) -> LWTSyste
 
     Import links and notification flags are session state in the thesis and
     are not persisted; everything else (streams, cursors, SDS contents and
-    memberships) round-trips.
+    memberships) round-trips.  Format-2 layouts restore lazily (payloads
+    decode on first access) and finish with a write-ahead journal replay.
     """
     directory = Path(directory)
     lwt = lwt if lwt is not None else LWTSystem()
-    load_database(directory / "database.json", lwt.db)
     doc = json.loads((directory / "history.json").read_text())
-    if doc.get("format") != FORMAT_VERSION:
+    fmt = doc.get("format")
+    if fmt not in (FORMAT_V1, FORMAT_VERSION):
         raise ThreadError(
             f"unsupported history format {doc.get('format')!r}"
         )
+    store: ChunkStore | None = None
+    if fmt == FORMAT_VERSION:
+        store = ChunkStore(directory / "objects")
+    load_database(directory / "database.json", lwt.db, store=store)
     lwt.clock.advance_to(doc.get("now", 0.0))
     _audit().restore(doc.get("audit", ()))
     for thread_doc in doc["threads"]:
@@ -211,4 +321,530 @@ def load_system(directory: str | Path, lwt: LWTSystem | None = None) -> LWTSyste
         for import_name in thread_doc.get("imports", ()):
             if import_name in lwt.threads:
                 thread.import_thread(lwt.threads[import_name])
+    if fmt == FORMAT_VERSION:
+        assert store is not None
+        replayed = replay_journal(lwt, store, directory / "journal.jsonl")
+        if TRACER.enabled:
+            TRACER.event("persist.load", cat="persist",
+                         threads=len(lwt.threads), journal_entries=replayed)
     return lwt
+
+
+# ------------------------------------------------------------ journal replay
+
+
+def _db_slot(lwt: LWTSystem, name: str) -> _Entry:
+    oname = parse_name(name)
+    chain = lwt.db._versions.get(oname.base)
+    if chain is None or oname.version is None \
+            or not 1 <= oname.version <= len(chain):
+        raise PersistenceError(
+            f"journal references unknown version {name!r}"
+        )
+    return chain[oname.version - 1]
+
+
+def _parked_row(db, name: str) -> dict[str, Any] | None:
+    """The raw (unbuilt) manifest row for ``name``, when its base is still
+    parked in a :class:`LazyChainMap` — lets journal replay mutate state
+    without materializing chains it only brushes past."""
+    oname = parse_name(name)
+    chains = db._versions
+    if not isinstance(chains, LazyChainMap) \
+            or not chains.is_pending(oname.base):
+        return None
+    rows = chains.pending_rows(oname.base)
+    if oname.version is None or not 1 <= oname.version <= len(rows):
+        raise PersistenceError(
+            f"journal references unknown version {name!r}"
+        )
+    return rows[oname.version - 1]
+
+
+def _replay_entry(lwt: LWTSystem, store: ChunkStore,
+                  entry: dict[str, Any]) -> None:
+    """Apply one journal entry.
+
+    Database entries are applied at the storage level, idempotently (a
+    version already present is skipped, a tombstone already set stands), so
+    the overlap between journaled ``db.delete`` entries and the deletions a
+    replayed erase-on-rework performs itself is harmless.  Thread entries go
+    through the real mutators so node numbering, epochs, and scope caches
+    come out exactly as live execution produced them.
+    """
+    op = entry["op"]
+    db = lwt.db
+    if op == "clock":
+        lwt.clock.advance_to(entry["now"])
+    elif op == "db.put":
+        oname = parse_name(entry["name"])
+        chains = db._versions
+        if isinstance(chains, LazyChainMap) and chains.is_pending(oname.base):
+            rows = chains.pending_rows(oname.base)
+            if len(rows) >= (oname.version or 0):
+                return
+            if oname.version != len(rows) + 1:
+                raise PersistenceError(
+                    f"journal put of {entry['name']!r} does not extend the "
+                    f"version chain (next is {len(rows) + 1})"
+                )
+            rows.append({
+                "base": oname.base, "version": oname.version,
+                "created_at": entry["created_at"],
+                "creator": entry.get("creator", ""),
+                "chunk": entry["chunk"], "size": entry["size"],
+                "deleted_at": None, "pinned": False,
+            })
+            db._bytes_live += entry["size"]
+            return
+        chain = chains.setdefault(oname.base, [])
+        if len(chain) >= (oname.version or 0):
+            return
+        if oname.version != len(chain) + 1:
+            raise PersistenceError(
+                f"journal put of {entry['name']!r} does not extend the "
+                f"version chain (next is {len(chain) + 1})"
+            )
+        obj = VersionedObject(
+            name=ObjectName(oname.base, oname.version),
+            payload=LazyPayload(store, entry["chunk"]),
+            created_at=entry["created_at"],
+            creator=entry.get("creator", ""),
+            size=entry["size"],
+        )
+        chain.append(_Entry(obj=obj, last_access=entry["created_at"]))
+        db._bytes_live += obj.size
+    elif op == "db.alias":
+        oname = parse_name(entry["name"])
+        chain = db._versions.setdefault(oname.base, [])
+        if len(chain) >= (oname.version or 0):
+            return
+        source = _db_slot(lwt, entry["source"])
+        if source.obj is None:
+            raise PersistenceError(
+                f"journal alias {entry['name']!r} references reclaimed "
+                f"source {entry['source']!r}"
+            )
+        obj = VersionedObject(
+            name=ObjectName(oname.base, oname.version),
+            payload=source.obj.payload,
+            created_at=entry["created_at"],
+            creator=source.obj.creator,
+            size=0,
+        )
+        chain.append(_Entry(obj=obj, last_access=entry["created_at"]))
+        db._note_alias(entry["name"], entry["source"])
+    elif op == "db.delete":
+        row = _parked_row(db, entry["name"])
+        if row is not None:
+            if not row.get("reclaimed") and row.get("deleted_at") is None:
+                row["deleted_at"] = entry["at"]
+            return
+        slot = _db_slot(lwt, entry["name"])
+        if slot.obj is not None and slot.deleted_at is None:
+            slot.deleted_at = entry["at"]
+    elif op == "db.undelete":
+        row = _parked_row(db, entry["name"])
+        if row is not None:
+            if not row.get("reclaimed"):
+                row["deleted_at"] = None
+            return
+        _db_slot(lwt, entry["name"]).deleted_at = None
+    elif op == "db.pin":
+        row = _parked_row(db, entry["name"])
+        if row is not None:
+            if not row.get("reclaimed"):
+                row["pinned"] = entry["pinned"]
+            return
+        _db_slot(lwt, entry["name"]).pinned = entry["pinned"]
+    elif op == "db.reclaim":
+        for name in entry["names"]:
+            row = _parked_row(db, name)
+            if row is not None:
+                if not row.get("reclaimed"):
+                    db._bytes_live -= row["size"]
+                    doomed = dict(base=row["base"], version=row["version"],
+                                  reclaimed=True,
+                                  deleted_at=row.get("deleted_at"))
+                    row.clear()
+                    row.update(doomed)
+                continue
+            slot = _db_slot(lwt, name)
+            if slot.obj is not None:
+                db._bytes_live -= slot.obj.size
+                slot.obj = None  # type: ignore[assignment]
+    elif op == "thread":
+        if entry["name"] not in lwt.threads:
+            lwt.create_thread(entry["name"], owner=entry.get("owner", ""))
+    elif op == "sds":
+        if entry["name"] not in lwt.spaces:
+            lwt.create_sds(entry["name"])
+    elif op == "sds.register":
+        if entry["thread"] in lwt.threads:
+            lwt.sds(entry["sds"]).register(lwt.thread(entry["thread"]))
+    elif op == "sds.contribute":
+        lwt.clock.advance_to(entry["at"])
+        lwt.sds(entry["sds"])._index_add(parse_name(entry["name"]))
+    elif op == "sds.retrieve":
+        # The persistent effect of a retrieve is the workspace check-in;
+        # notification flags are session state and are not restored (same
+        # contract as the snapshot path).
+        lwt.clock.advance_to(entry["at"])
+        lwt.thread(entry["thread"]).extra_objects.add(entry["name"])
+    elif op == "commit":
+        thread = lwt.thread(entry["thread"])
+        lwt.clock.advance_to(entry["at"])
+        record = record_from_dict(entry["record"])
+        if entry["spliced"]:
+            point = thread.stream.append_spliced(record, entry["at_point"])
+        else:
+            point = thread.stream.append(record, entry["at_point"])
+        if point != entry["point"]:
+            raise PersistenceError(
+                f"journal replay diverged: commit of {record.task!r} landed "
+                f"on point {point}, journal says {entry['point']}"
+            )
+        thread.current_cursor = entry["cursor_after"]
+        thread.point_access[point] = entry["at"]
+    elif op == "cursor":
+        thread = lwt.thread(entry["thread"])
+        lwt.clock.advance_to(entry["at"])
+        thread.move_cursor(entry["point"], erase=entry["erase"])
+    elif op == "erase":
+        thread = lwt.thread(entry["thread"])
+        thread.stream.remove_points(set(entry["points"]))
+        thread.prune_point_access()
+    elif op == "splice_out":
+        thread = lwt.thread(entry["thread"])
+        thread.stream.splice_out(entry["point"])
+        thread.prune_point_access()
+    elif op == "replace_region":
+        thread = lwt.thread(entry["thread"])
+        summary = record_from_dict(entry["summary"])
+        point = thread.stream.replace_region(set(entry["points"]), summary)
+        if point != entry["summary_point"]:
+            raise PersistenceError(
+                "journal replay diverged: replace_region summary landed on "
+                f"point {point}, journal says {entry['summary_point']}"
+            )
+        thread.prune_point_access()
+        if thread.current_cursor not in thread.stream:
+            thread.current_cursor = INITIAL_POINT
+    elif op == "annotate":
+        lwt.thread(entry["thread"]).stream.record(
+            entry["point"]).annotation = entry["text"]
+    elif op == "check_in":
+        lwt.thread(entry["thread"]).extra_objects.add(entry["name"])
+    elif op == "import":
+        thread = lwt.thread(entry["thread"])
+        if entry["other"] in lwt.threads and \
+                entry["other"] not in thread.imports:
+            thread.import_thread(lwt.threads[entry["other"]])
+    elif op == "abstract":
+        lwt.thread(entry["thread"]).stream.record(entry["point"]).abstract()
+    elif op == "audit":
+        _audit().append_dicts(entry["entries"])
+    else:
+        raise PersistenceError(f"unknown journal entry op {op!r}")
+
+
+def replay_journal(lwt: LWTSystem, store: ChunkStore,
+                   path: str | Path) -> int:
+    """Apply a write-ahead journal on top of a restored snapshot.
+
+    The audit journal is suspended for the duration: replayed mutators
+    would otherwise re-record entries the journal's own ``audit`` deltas
+    restore verbatim.
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    applied = 0
+    with _audit().suspended():
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                _replay_entry(lwt, store, json.loads(line))
+                applied += 1
+    return applied
+
+
+# ------------------------------------------------------- persistent session
+
+
+#: Thread-level stream mutations a journal cannot replay entry-by-entry:
+#: they add structure built outside any journaled operation (fork/cascade/
+#: join grafts and junctions).  Seeing one marks the session dirty, and the
+#: next save silently promotes to a full checkpoint.
+_UNJOURNALABLE = frozenset({"append", "append_spliced", "junction", "graft"})
+
+
+class PersistentSession:
+    """Incremental persistence for one live installation.
+
+    Installing a session hooks every mutation source — the database, the
+    thread registry, each thread's composite operations, each SDS — and
+    buffers typed journal entries in memory.  :meth:`save` then costs only
+    the *new* chunks plus one journal append + fsync; a full re-serialization
+    happens only on the first save, after an unjournalable mutation (dirty
+    flag), or on an explicit :meth:`compact`.
+    """
+
+    def __init__(self, lwt: LWTSystem, directory: str | Path,
+                 snapshot_current: bool = False):
+        self.lwt = lwt
+        self.directory = Path(directory)
+        self.store = ChunkStore(self.directory / "objects")
+        self._buffer: list[tuple] = []
+        self._dirty = False
+        self._audit_seen = len(_audit())
+        # ``snapshot_current`` asserts the in-memory state equals what is on
+        # disk (true right after a load) — only then may the first save be
+        # an incremental journal append.  A session attached to a live
+        # installation cannot know what changed since the snapshot was
+        # written, so its first save is always a full checkpoint.
+        self._has_snapshot = snapshot_current and self._snapshot_is_current()
+        self._install_hooks()
+
+    @classmethod
+    def open(cls, directory: str | Path,
+             lwt: LWTSystem | None = None) -> "PersistentSession":
+        """Restore a saved installation and attach a session to it."""
+        lwt = load_system(directory, lwt)
+        return cls(lwt, directory, snapshot_current=True)
+
+    # ----------------------------------------------------------------- hooks
+
+    def _snapshot_is_current(self) -> bool:
+        history = self.directory / "history.json"
+        if not history.exists():
+            return False
+        try:
+            return json.loads(history.read_text()).get("format") \
+                == FORMAT_VERSION
+        except (OSError, ValueError):
+            return False
+
+    def _install_hooks(self) -> None:
+        self.lwt.db.on_mutation = self._on_db
+        self.lwt.on_change = self._on_lwt
+        for thread in self.lwt.threads.values():
+            thread.journal_hook = self._on_thread
+        for sds in self.lwt.spaces.values():
+            sds.journal_hook = self._on_sds
+
+    def close(self) -> None:
+        """Detach every hook (the installation keeps running unjournaled)."""
+        if self.lwt.db.on_mutation == self._on_db:
+            self.lwt.db.on_mutation = None
+        if self.lwt.on_change == self._on_lwt:
+            self.lwt.on_change = None
+        for thread in self.lwt.threads.values():
+            if thread.journal_hook == self._on_thread:
+                thread.journal_hook = None
+        for sds in self.lwt.spaces.values():
+            if sds.journal_hook == self._on_sds:
+                sds.journal_hook = None
+
+    def _on_db(self, kind: str, details: dict) -> None:
+        self._buffer.append(("db", kind, details))
+
+    def _on_thread(self, thread_name: str, kind: str, details: dict) -> None:
+        if kind in _UNJOURNALABLE:
+            self._dirty = True
+            return
+        self._buffer.append(("thread", thread_name, kind, details))
+
+    def _on_sds(self, sds_name: str, kind: str, details: dict) -> None:
+        if kind == "unregister" or \
+                (kind == "retrieve" and details.get("propagate")):
+            self._dirty = True
+            return
+        self._buffer.append(("sds", sds_name, kind, details))
+
+    def _on_lwt(self, kind: str, details: dict) -> None:
+        if kind == "thread":
+            details["thread"].journal_hook = self._on_thread
+            self._buffer.append(("lwt", "thread", {
+                "name": details["name"], "owner": details["owner"],
+            }))
+        elif kind == "sds":
+            details["sds"].journal_hook = self._on_sds
+            self._buffer.append(("lwt", "sds", {"name": details["name"]}))
+        elif kind == "adopt":
+            details["thread"].journal_hook = self._on_thread
+            self._dirty = True
+        else:  # drop
+            self._dirty = True
+
+    # ----------------------------------------------------------------- state
+
+    @property
+    def dirty(self) -> bool:
+        """True when the next save must be a full checkpoint."""
+        return self._dirty
+
+    @property
+    def pending_entries(self) -> int:
+        return len(self._buffer)
+
+    # ------------------------------------------------------------- serialize
+
+    def _serialize(self, buffered: tuple) -> dict[str, Any]:
+        scope = buffered[0]
+        if scope == "db":
+            _, kind, d = buffered
+            if kind == "put":
+                return {"op": "db.put", "name": d["name"],
+                        "chunk": self.store.put_payload(d["payload"]),
+                        "size": d["size"], "created_at": d["created_at"],
+                        "creator": d["creator"]}
+            if kind == "alias":
+                return {"op": "db.alias", "name": d["name"],
+                        "source": d["source"],
+                        "created_at": d["created_at"]}
+            if kind == "delete":
+                return {"op": "db.delete", "name": d["name"], "at": d["at"]}
+            if kind == "undelete":
+                return {"op": "db.undelete", "name": d["name"]}
+            if kind == "pin":
+                return {"op": "db.pin", "name": d["name"],
+                        "pinned": d["pinned"]}
+            if kind == "reclaim":
+                return {"op": "db.reclaim", "names": list(d["names"])}
+        elif scope == "thread":
+            _, thread_name, kind, d = buffered
+            if kind == "commit":
+                return {"op": "commit", "thread": thread_name,
+                        "record": record_to_dict(d["record"]),
+                        "at_point": d["at_point"], "spliced": d["spliced"],
+                        "point": d["point"],
+                        "cursor_after": d["cursor_after"], "at": d["at"]}
+            if kind == "replace_region":
+                return {"op": "replace_region", "thread": thread_name,
+                        "points": list(d["points"]),
+                        "summary": record_to_dict(d["summary"]),
+                        "summary_point": d["summary_point"]}
+            if kind in ("cursor", "erase", "splice_out", "annotate",
+                        "check_in", "import", "abstract"):
+                return {"op": kind, "thread": thread_name, **d}
+        elif scope == "sds":
+            _, sds_name, kind, d = buffered
+            if kind == "register":
+                return {"op": "sds.register", "sds": sds_name,
+                        "thread": d["thread"]}
+            if kind == "contribute":
+                return {"op": "sds.contribute", "sds": sds_name,
+                        "name": d["name"], "at": d["at"]}
+            if kind == "retrieve":
+                return {"op": "sds.retrieve", "sds": sds_name,
+                        "thread": d["thread"], "name": d["name"],
+                        "at": d["at"]}
+        elif scope == "lwt":
+            _, kind, d = buffered
+            return {"op": kind, **d}
+        raise PersistenceError(f"unserializable journal entry {buffered[:2]}")
+
+    # ------------------------------------------------------------------ save
+
+    def save(self) -> Path:
+        """Persist the current state: incremental when possible.
+
+        The first save (or any save after an unjournalable mutation) is a
+        full checkpoint; every other save writes only chunks for new
+        payloads plus the buffered journal entries, fsynced.
+        """
+        start = time.perf_counter()
+        bytes_before = self.store.bytes_written
+        mode = ("checkpoint"
+                if self._dirty or not self._has_snapshot else "journal")
+        if mode == "checkpoint":
+            self._checkpoint()
+        else:
+            self._flush_journal()
+        elapsed = time.perf_counter() - start
+        METRICS.counter("persist.save_seconds").inc(elapsed)
+        if TRACER.enabled:
+            TRACER.event("persist.save", cat="persist", mode=mode,
+                         seconds=round(elapsed, 6),
+                         chunk_bytes=self.store.bytes_written - bytes_before)
+        return self.directory
+
+    def _checkpoint(self) -> None:
+        save_system(self.lwt, self.directory, store=self.store)
+        self._buffer.clear()
+        self._dirty = False
+        self._has_snapshot = True
+        self._audit_seen = len(_audit())
+
+    def _flush_journal(self) -> None:
+        lines = [json.dumps({"op": "clock", "now": self.lwt.clock.now},
+                            sort_keys=True)]
+        for buffered in self._buffer:
+            lines.append(json.dumps(self._serialize(buffered),
+                                    sort_keys=True))
+        audit_delta = _audit().to_dicts()[self._audit_seen:]
+        if audit_delta:
+            lines.append(json.dumps({"op": "audit", "entries": audit_delta},
+                                    sort_keys=True))
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.directory / "journal.jsonl", "a",
+                  encoding="utf-8") as fh:
+            fh.write("\n".join(lines) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        METRICS.counter("persist.journal_entries").inc(len(lines))
+        self._buffer.clear()
+        self._audit_seen = len(_audit())
+
+    # --------------------------------------------------------------- compact
+
+    def compact(self) -> int:
+        """Checkpoint, then garbage-collect unreferenced chunks.
+
+        After the checkpoint the journal is empty, so the manifest alone
+        defines liveness; anything else in ``objects/`` is unreachable
+        (reclaimed versions, superseded journal writes) and is deleted.
+        Returns the number of chunks removed.
+        """
+        self._checkpoint()
+        deleted = self.store.gc(live_digests(self.directory))
+        if TRACER.enabled:
+            TRACER.event("persist.gc", cat="persist", chunks_deleted=deleted)
+        return deleted
+
+
+def live_digests(directory: str | Path) -> set[str]:
+    """Every chunk digest reachable from a directory's manifest + journal."""
+    directory = Path(directory)
+    live: set[str] = set()
+    manifest = directory / "database.json"
+    if manifest.exists():
+        doc = json.loads(manifest.read_text())
+        if doc.get("format") == FORMAT_VERSION:
+            for record in doc.get("objects", ()):
+                chunk = record.get("chunk")
+                if chunk:
+                    live.add(chunk)
+    journal = directory / "journal.jsonl"
+    if journal.exists():
+        for line in journal.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            entry = json.loads(line)
+            if entry.get("op") == "db.put":
+                live.add(entry["chunk"])
+    return live
+
+
+def compact_store(directory: str | Path) -> int:
+    """Standalone chunk GC for a saved session directory (no load needed)."""
+    directory = Path(directory)
+    store = ChunkStore(directory / "objects")
+    deleted = store.gc(live_digests(directory))
+    if TRACER.enabled:
+        TRACER.event("persist.gc", cat="persist", chunks_deleted=deleted)
+    return deleted

@@ -17,6 +17,7 @@ likely to be needed:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -116,6 +117,7 @@ class Reclaimer:
             self._delete_objects(record.intermediates(), report)
             record.abstract()
             report.records_abstracted += 1
+            self.thread.journal_op("abstract", point=point, at=now)
             _audit().record("abstract", thread=self.thread.name,
                             actor=self.thread.owner, reason="vertical aging",
                             at=now, point=point, task=record.task)
@@ -323,13 +325,34 @@ class Reclaimer:
         horizontal_after: float = 30 * 24 * 3600.0,
         dead_branch_after: float = 14 * 24 * 3600.0,
         reclaim_grace: float = 24 * 3600.0,
+        max_versions: int | None = None,
+        max_seconds: float | None = None,
     ) -> ReclamationReport:
-        """One background pass: aging + GC + physical reclamation."""
+        """One background pass: aging + GC + physical reclamation.
+
+        ``max_versions`` caps how many versions this call physically
+        reclaims and ``max_seconds`` bounds its wall-clock (checked between
+        phases), turning the sweep into an incremental budgeted pass: call
+        it repeatedly and it makes monotonic progress — aged records stay
+        abstracted, reclaimed slots never re-match — instead of stopping
+        the world once.
+        """
+        deadline = (None if max_seconds is None
+                    else time.monotonic() + max_seconds)
+
+        def in_budget() -> bool:
+            return deadline is None or time.monotonic() < deadline
+
         bytes_before = self.db.bytes_live
-        report = self.vertical_aging(vertical_after)
-        report += self.horizontal_aging(horizontal_after)
-        report += self.prune_dead_branches(dead_branch_after)
-        reclaimed = self.db.reclaim(grace_seconds=reclaim_grace)
+        report = ReclamationReport()
+        if in_budget():
+            report += self.vertical_aging(vertical_after)
+        if in_budget():
+            report += self.horizontal_aging(horizontal_after)
+        if in_budget():
+            report += self.prune_dead_branches(dead_branch_after)
+        reclaimed = self.db.reclaim(grace_seconds=reclaim_grace,
+                                    max_versions=max_versions)
         bytes_reclaimed = max(0, bytes_before - self.db.bytes_live)
         if reclaimed:
             METRICS.counter("reclaim.versions_erased").inc(len(reclaimed))

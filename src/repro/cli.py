@@ -22,7 +22,11 @@ import shlex
 from typing import Callable
 
 from repro import Papyrus, obs
-from repro.activity.persistence import load_system, save_system
+from repro.activity.persistence import (
+    PersistentSession,
+    compact_store,
+    load_system,
+)
 from repro.activity.reclamation import Reclaimer
 from repro.activity.viewport import render_stream
 from repro.core.lwt import LWTSystem
@@ -61,6 +65,10 @@ class Shell:
         #: Lazily attached ``repro.obs.health.HealthMonitor`` (first
         #: ``health`` command wires it to the installation's clock/taskmgr).
         self._health = None
+        #: Write-ahead persistence session, attached by the first ``save``
+        #: (or by ``load``); subsequent saves to the same directory are
+        #: incremental journal appends instead of full re-serializations.
+        self._session: PersistentSession | None = None
         self._commands: dict[str, Callable[[list[str]], None]] = {
             "help": self._cmd_help,
             "tasks": self._cmd_tasks,
@@ -90,6 +98,7 @@ class Shell:
             "advance": self._cmd_advance,
             "save": self._cmd_save,
             "load": self._cmd_load,
+            "compact": self._cmd_compact,
             "quit": self._cmd_quit,
         }
 
@@ -148,7 +157,8 @@ class Shell:
             "man <tool>": "show a tool's man page",
             "objects [base]": "list database objects",
             "notebook": "generate the design notebook from the history",
-            "reclaim [grace-seconds]": "run the storage reclaimer",
+            "reclaim [grace-seconds] [max-versions]":
+                "run the storage reclaimer (optionally budgeted)",
             "why <obj@v>": "derivation chain back to primary sources",
             "blame <obj>": "per-version producing record and thread",
             "impact <obj@v>": "forward closure: what this version feeds",
@@ -171,6 +181,7 @@ class Shell:
             "spans [n]": "show the trace span/event tree (last n events)",
             "advance <seconds>": "advance the virtual clock",
             "save <dir> / load <dir>": "persist / restore everything",
+            "compact [dir]": "checkpoint + garbage-collect the chunk store",
             "quit": "leave the shell",
         }
         for usage, summary in summaries.items():
@@ -290,9 +301,12 @@ class Shell:
 
     def _cmd_reclaim(self, args: list[str]) -> None:
         grace = float(args[0]) if args else 0.0
+        max_versions = int(args[1]) if len(args) > 1 else None
         reclaimer = Reclaimer(self._manager().thread)
-        report = reclaimer.sweep(reclaim_grace=grace)
-        reclaimed = self.papyrus.db.reclaim(grace_seconds=grace)
+        report = reclaimer.sweep(reclaim_grace=grace,
+                                 max_versions=max_versions)
+        reclaimed = self.papyrus.db.reclaim(grace_seconds=grace,
+                                            max_versions=max_versions)
         self._print(
             f"abstracted {report.records_abstracted} records, pruned "
             f"{report.records_pruned}, reclaimed {len(reclaimed)} versions"
@@ -643,11 +657,26 @@ class Shell:
         self.papyrus.clock.advance(float(args[0]))
         self._print(f"virtual time is now {self.papyrus.clock.now:.1f}s")
 
+    def _session_for(self, directory: str) -> PersistentSession:
+        """The attached session for a directory, (re)attaching if needed."""
+        from pathlib import Path
+
+        if (self._session is None
+                or self._session.lwt is not self.papyrus.lwt
+                or self._session.directory != Path(directory)):
+            if self._session is not None:
+                self._session.close()
+            self._session = PersistentSession(self.papyrus.lwt, directory)
+        return self._session
+
     def _cmd_save(self, args: list[str]) -> None:
         if len(args) != 1:
             raise ShellError("usage: save <directory>")
-        save_system(self.papyrus.lwt, args[0])
-        self._print(f"saved to {args[0]}")
+        session = self._session_for(args[0])
+        incremental = (not session.dirty) and session._has_snapshot
+        session.save()
+        mode = "journaled" if incremental else "checkpointed"
+        self._print(f"{mode} to {args[0]}")
 
     def _cmd_load(self, args: list[str]) -> None:
         if len(args) != 1:
@@ -664,7 +693,30 @@ class Shell:
                                                        papyrus.taskmgr)
         self.papyrus = papyrus
         self.current = next(iter(lwt.threads), None)
+        if self._session is not None:
+            self._session.close()
+        self._session = PersistentSession(lwt, args[0],
+                                          snapshot_current=True)
         self._print(f"loaded {len(lwt.threads)} threads from {args[0]}")
+
+    def _cmd_compact(self, args: list[str]) -> None:
+        if len(args) > 1:
+            raise ShellError("usage: compact [directory]")
+        if args:
+            deleted = compact_store(args[0])
+            self._print(f"collected {deleted} unreferenced chunks "
+                        f"in {args[0]}")
+            return
+        if self._session is None:
+            raise ShellError(
+                "no persistence session attached: save <dir> first, "
+                "or pass a directory: compact <dir>"
+            )
+        deleted = self._session.compact()
+        self._print(
+            f"checkpointed and collected {deleted} unreferenced chunks "
+            f"in {self._session.directory}"
+        )
 
     def _cmd_quit(self, args: list[str]) -> None:
         self.done = True

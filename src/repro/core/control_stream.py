@@ -62,10 +62,21 @@ class ControlStream:
         #: makes the audit journal's exactly-once guarantee hold no matter
         #: which caller (rework, reclamation, shell) triggered the mutation.
         self.on_destructive: Callable[[str, dict], None] | None = None
+        #: Journal hook: called as ``on_mutation(kind, details)`` after *any*
+        #: structural mutation, with replay-grade details (full records where
+        #: the mutation adds them).  A persistent session uses it to build
+        #: the write-ahead journal; unlike :attr:`on_destructive` it also
+        #: fires for additive mutations so the session can detect structure
+        #: it cannot journal entry-by-entry (grafts, junctions).
+        self.on_mutation: Callable[[str, dict], None] | None = None
 
     def _audit(self, kind: str, **details) -> None:
         if self.on_destructive is not None:
             self.on_destructive(kind, details)
+
+    def _mutated(self, kind: str, **details) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation(kind, details)
 
     # --------------------------------------------------------------- epochs
 
@@ -118,6 +129,12 @@ class ControlStream:
         """Number of history records (junctions and the root excluded)."""
         return sum(1 for n in self._nodes.values()
                    if n.record is not None)
+
+    def __bool__(self) -> bool:
+        # A stream with zero records is still a stream; without this,
+        # truthiness falls through to ``__len__`` — wrong for emptiness
+        # tests, and a forced hydration for lazily restored streams.
+        return True
 
     def points(self) -> list[int]:
         return sorted(self._nodes)
@@ -185,6 +202,8 @@ class ControlStream:
         node.parents.append(parent.number)
         parent.children.append(node.number)
         self._bump()
+        self._mutated("append", point=node.number, at_point=at_point,
+                      record=record)
         return node.number
 
     def append_spliced(self, record: HistoryRecord, at_point: int) -> int:
@@ -220,6 +239,8 @@ class ControlStream:
         # per-node caches were patched additively above, but epoch-keyed
         # full-result caches must recompute.
         self._bump(states_changed=True)
+        self._mutated("append_spliced", point=node.number, at_point=at_point,
+                      record=record)
         return node.number
 
     def add_junction(self, parents: list[int]) -> int:
@@ -232,6 +253,7 @@ class ControlStream:
             node.parents.append(parent.number)
             parent.children.append(node.number)
         self._bump()
+        self._mutated("junction", point=node.number, parents=list(parents))
         return node.number
 
     def remove_points(self, points: set[int]) -> list[HistoryRecord]:
@@ -258,6 +280,7 @@ class ControlStream:
         # removed node), but result caches may hold the removed points.
         self._bump(states_changed=True)
         self._audit("erase", points=sorted(points), records=len(removed))
+        self._mutated("erase", points=sorted(points))
         return removed
 
     def erase_subtree(self, point: int) -> list[HistoryRecord]:
@@ -308,6 +331,7 @@ class ControlStream:
                 dst.parents.append(mapped)
                 self.node(mapped).children.append(dst.number)
         self._bump()
+        self._mutated("graft", at_point=at_point, points=len(mapping) - 1)
         return mapping
 
     def copy(self) -> tuple["ControlStream", dict[int, int]]:
@@ -370,6 +394,7 @@ class ControlStream:
         self._drop_cached_scopes(affected)
         self._bump(states_changed=True)
         self._audit("splice_out", point=point, task=node.record.task)
+        self._mutated("splice_out", point=point)
         return node.record
 
     def replace_region(
@@ -413,4 +438,6 @@ class ControlStream:
         self._audit("replace_region", points=sorted(points),
                     summary_point=summary_node.number,
                     summary_task=summary.task)
+        self._mutated("replace_region", points=sorted(points),
+                      summary_point=summary_node.number, summary=summary)
         return summary_node.number

@@ -6,6 +6,8 @@ examples and scenario drivers deal with one object.
 
 from __future__ import annotations
 
+from typing import Any, Callable
+
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.core.sds import SynchronizationDataSpace
 from repro.core.thread import DesignThread
@@ -26,6 +28,15 @@ class LWTSystem:
         self.db = db if db is not None else DesignDatabase(clock=self.clock)
         self.threads: dict[str, DesignThread] = {}
         self.spaces: dict[str, SynchronizationDataSpace] = {}
+        #: Registry observer: ``on_change(kind, details)`` after thread/SDS
+        #: creation, adoption and removal.  A persistent session uses it to
+        #: journal creations and to detect structure (fork/cascade/join
+        #: adoptions) it must checkpoint instead of replay.
+        self.on_change: Callable[[str, dict[str, Any]], None] | None = None
+
+    def _changed(self, kind: str, **details: Any) -> None:
+        if self.on_change is not None:
+            self.on_change(kind, details)
 
     # ---------------------------------------------------------------- threads
 
@@ -34,6 +45,7 @@ class LWTSystem:
             raise ThreadError(f"thread {name!r} already exists")
         thread = DesignThread(name, db=self.db, owner=owner, clock=self.clock)
         self.threads[name] = thread
+        self._changed("thread", name=name, owner=owner, thread=thread)
         return thread
 
     def thread(self, name: str) -> DesignThread:
@@ -47,10 +59,12 @@ class LWTSystem:
         if thread.name in self.threads:
             raise ThreadError(f"thread {thread.name!r} already exists")
         self.threads[thread.name] = thread
+        self._changed("adopt", name=thread.name, thread=thread)
         return thread
 
     def drop_thread(self, name: str) -> None:
-        self.threads.pop(name, None)
+        if self.threads.pop(name, None) is not None:
+            self._changed("drop", name=name)
 
     # ------------------------------------------------------------------- SDSs
 
@@ -60,9 +74,10 @@ class LWTSystem:
         if name in self.spaces:
             raise SdsError(f"SDS {name!r} already exists")
         sds = SynchronizationDataSpace(name, db=self.db, clock=self.clock)
+        self.spaces[name] = sds
+        self._changed("sds", name=name, sds=sds)
         for thread in members or ():
             sds.register(thread)
-        self.spaces[name] = sds
         return sds
 
     def sds(self, name: str) -> SynchronizationDataSpace:

@@ -93,6 +93,12 @@ def canonical_options(
 
 def _stable_hash(payload: Any, digest: "hashlib._Hash") -> None:
     """Feed a stable, structure-aware serialization of ``payload``."""
+    if getattr(payload, "is_lazy_payload", False):
+        # A not-yet-decoded chunk handle (duck-typed: memo must not import
+        # the chunk store).  Hash the real payload so warm and cold
+        # fingerprints agree — hashing the handle would silently fall to
+        # repr() and break every memo key built from restored objects.
+        payload = payload.materialize()
     if is_dataclass(payload) and not isinstance(payload, type):
         digest.update(b"D" + type(payload).__name__.encode())
         for f in fields(payload):
@@ -155,9 +161,14 @@ class DerivationCache:
         #: Insertion order doubles as recency order (hits move to the end),
         #: so the LRU victim is always the first key.
         self._entries: dict[MemoKey, MemoEntry] = {}
-        self._seen_scope_epoch = stream.scope_epoch if stream else -1
+        self._seen_scope_epoch = \
+            stream.scope_epoch if stream is not None else -1
+        #: Deferred warm loaders (see :meth:`defer_populate`); run on the
+        #: first lookup/store instead of eagerly at restore time.
+        self._deferred: list[Any] = []
 
     def __len__(self) -> int:
+        self._resolve_deferred()
         return len(self._entries)
 
     @staticmethod
@@ -184,6 +195,30 @@ class DerivationCache:
         return (tool, canonical_options(options, input_names, output_bases),
                 prints)
 
+    # ---------------------------------------------------------- deferred warm
+
+    def defer_populate(self, loader: Any) -> None:
+        """Register a warm loader to run on first use instead of now.
+
+        ``loader(cache)`` should seed the cache (e.g. by calling
+        :meth:`populate` per restored record) and return the entry count.
+        Restoring a long-history thread registers one loader instead of
+        fingerprinting every historical payload up front — a session that
+        never reworks never pays for warming at all.
+        """
+        self._deferred.append(loader)
+
+    def _resolve_deferred(self) -> None:
+        if not self._deferred:
+            return
+        # Clear first: a loader calling store()/lookup() must not recurse.
+        pending, self._deferred = self._deferred, []
+        warmed = 0
+        for loader in pending:
+            warmed += int(loader(self) or 0)
+        if warmed:
+            METRICS.counter("memo.deferred_warms").inc(warmed)
+
     # ---------------------------------------------------------------- lookup
 
     def _sync(self) -> None:
@@ -209,6 +244,7 @@ class DerivationCache:
         An entry only counts when every cached output version is still
         fetchable; a stale local entry is dropped on the spot.
         """
+        self._resolve_deferred()
         self._sync()
         entry = self._entries.get(key)
         if entry is not None:
@@ -228,6 +264,7 @@ class DerivationCache:
     # ------------------------------------------------------------ population
 
     def store(self, key: MemoKey, entry: MemoEntry) -> None:
+        self._resolve_deferred()
         self._sync()
         if key in self._entries:
             self._entries.pop(key)          # overwrite refreshes recency

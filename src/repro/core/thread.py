@@ -70,6 +70,12 @@ class DesignThread:
         #: Reason attached to the next audited destructive mutation (set via
         #: the :meth:`audit_reason` context manager by rework/reclamation).
         self._audit_reason = ""
+        #: Write-ahead journal hook: ``journal_hook(thread_name, kind,
+        #: details)``, installed by a persistent session.  Composite
+        #: operations (commit, erase-on-rework) suppress the journaling of
+        #: their internal stream mutations and emit one replayable entry.
+        self.journal_hook = None
+        self._journal_suppress = 0
         self.wire_audit()
 
     # ---------------------------------------------------------------- auditing
@@ -81,12 +87,34 @@ class DesignThread:
         join, persistence restore) — the hook lives on the stream object.
         """
         self.stream.on_destructive = self._on_stream_destructive
+        self.stream.on_mutation = self._on_stream_mutation
 
     def _on_stream_destructive(self, kind: str, details: dict) -> None:
         from repro.obs.provenance import AUDIT
 
         AUDIT.record(kind, thread=self.name, actor=self.owner,
                      reason=self._audit_reason, at=self.clock.now, **details)
+
+    def _on_stream_mutation(self, kind: str, details: dict) -> None:
+        self._journal(kind, **details)
+
+    def _journal(self, kind: str, **details) -> None:
+        if self.journal_hook is not None and self._journal_suppress == 0:
+            self.journal_hook(self.name, kind, details)
+
+    #: Public journal entry point for callers outside this class that mutate
+    #: thread state a persistent session must replay (e.g. the reclaimer's
+    #: vertical aging abstracting a record in place).
+    journal_op = _journal
+
+    @contextlib.contextmanager
+    def _suppress_journal(self):
+        """Hide internal stream mutations behind one composite entry."""
+        self._journal_suppress += 1
+        try:
+            yield
+        finally:
+            self._journal_suppress -= 1
 
     @contextlib.contextmanager
     def audit_reason(self, reason: str):
@@ -123,15 +151,20 @@ class DesignThread:
         if invocation_cursor is None:
             invocation_cursor = self.current_cursor
         record.recorded_at = self.clock.now
-        if follow_path:
-            point = self.stream.append_spliced(record, invocation_cursor)
-        else:
-            point = self.stream.append(record, invocation_cursor)
+        with self._suppress_journal():
+            if follow_path:
+                point = self.stream.append_spliced(record, invocation_cursor)
+            else:
+                point = self.stream.append(record, invocation_cursor)
         # The cursor follows its own path's growth (§3.3.3) but never jumps
         # to work committed on another branch.
         if self.current_cursor in self.stream.node(point).parents:
             self.current_cursor = point
         self.point_access[point] = self.clock.now
+        self._journal("commit", record=record, at_point=invocation_cursor,
+                      spliced=follow_path, point=point,
+                      cursor_after=self.current_cursor,
+                      at=record.recorded_at)
         METRICS.counter("thread.commits").inc()
         if TRACER.enabled:
             TRACER.event("thread.commit", cat="thread", thread=self.name,
@@ -169,6 +202,8 @@ class DesignThread:
                          thread=self.name, src=old_cursor, dst=point,
                          erase=erase)
         if not erasing:
+            self._journal("cursor", point=point, erase=False,
+                          at=self.clock.now)
             return
         on_path = set(self.stream.ancestors(old_cursor))
         doomed: set[int] = set()
@@ -176,7 +211,8 @@ class DesignThread:
             if child in on_path:
                 doomed.add(child)
                 doomed.update(self.stream.descendants(child))
-        with self.audit_reason(self._audit_reason or "erase-on-rework"):
+        with self.audit_reason(self._audit_reason or "erase-on-rework"), \
+                self._suppress_journal():
             removed = self.stream.remove_points(doomed)
         self.prune_point_access()
         METRICS.counter("thread.branches_erased").inc()
@@ -195,6 +231,7 @@ class DesignThread:
                     continue
                 if self.db.exists(name) and not self.db.is_deleted(name):
                     self.db.delete(name)
+        self._journal("cursor", point=point, erase=True, at=self.clock.now)
 
     def prune_point_access(self) -> None:
         """Drop access times of points no longer in the stream.
@@ -279,6 +316,7 @@ class DesignThread:
         oname = parse_name(name) if isinstance(name, str) else name
         obj = self.db.get(oname)  # must exist
         self.extra_objects.add(str(obj.name))
+        self._journal("check_in", name=str(obj.name))
         return obj.name
 
     # ------------------------------------------------------------ annotations
@@ -286,6 +324,7 @@ class DesignThread:
     def annotate(self, point: int, text: str) -> None:
         """Attach an annotation string to a design point's record (§5.2)."""
         self.stream.record(point).annotation = text
+        self._journal("annotate", point=point, text=text)
 
     def find_annotation(self, text: str) -> int | None:
         return self.stream.find_by_annotation(text)
@@ -304,6 +343,7 @@ class DesignThread:
         if other is self:
             raise ThreadError("a thread cannot import itself")
         self.imports[other.name] = other
+        self._journal("import", other=other.name)
         METRICS.counter("thread.imports").inc()
         if TRACER.enabled:
             TRACER.event("thread.import", cat="thread", thread=self.name,

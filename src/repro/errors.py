@@ -105,6 +105,10 @@ class ReclamationError(PapyrusError):
     """Storage reclamation was asked to reclaim a live or pinned object."""
 
 
+class PersistenceError(PapyrusError):
+    """A saved session is inconsistent (dangling alias, missing chunk...)."""
+
+
 class RestartSignal(BaseException):
     """Internal control flow: restart task interpretation after an abort.
 

@@ -34,6 +34,7 @@ caller triggered it.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import json
 from dataclasses import dataclass, field, replace
@@ -111,8 +112,24 @@ class AuditJournal:
     def __init__(self):
         self._entries: list[AuditEntry] = []
         self._seq = itertools.count(1)
+        self._suspended = 0
 
     # ------------------------------------------------------------- recording
+
+    @contextlib.contextmanager
+    def suspended(self):
+        """No-op all :meth:`record` calls inside the block.
+
+        Journal replay re-executes the very mutators whose hooks feed this
+        journal; without suspension every replayed erase/splice/move would
+        be recorded a second time.  The persisted trail is restored
+        separately (:meth:`restore` + :meth:`append_dicts`).
+        """
+        self._suspended += 1
+        try:
+            yield
+        finally:
+            self._suspended -= 1
 
     def record(
         self,
@@ -123,8 +140,13 @@ class AuditJournal:
         reason: str = "",
         at: float | None = None,
         **details: Any,
-    ) -> AuditEntry:
-        """Append one entry (and mirror it as an ``audit.<kind>`` event)."""
+    ) -> AuditEntry | None:
+        """Append one entry (and mirror it as an ``audit.<kind>`` event).
+
+        Returns None (recording nothing) while :meth:`suspended` is active.
+        """
+        if self._suspended:
+            return None
         from repro.obs import METRICS, TRACER
 
         entry = AuditEntry(
@@ -184,6 +206,26 @@ class AuditJournal:
         ]
         top = max((e.seq for e in self._entries), default=0)
         self._seq = itertools.count(top + 1)
+
+    def append_dicts(self, dicts: Iterable[dict[str, Any]]) -> int:
+        """Append persisted entries after the current tail (journal replay).
+
+        Unlike :meth:`restore` this does not replace the trail: a restored
+        snapshot's audit plus the write-ahead journal's audit deltas rebuild
+        the live trail incrementally.  Returns the number appended.
+        """
+        added = 0
+        for d in dicts:
+            self._entries.append(AuditEntry(
+                seq=d["seq"], kind=d["kind"], at=d["at"],
+                actor=d.get("actor", ""), thread=d.get("thread", ""),
+                reason=d.get("reason", ""),
+                details=dict(d.get("details", {})),
+            ))
+            added += 1
+        top = max((e.seq for e in self._entries), default=0)
+        self._seq = itertools.count(top + 1)
+        return added
 
     def export_jsonl(self, target: str | IO[str]) -> int:
         if isinstance(target, str):

@@ -33,6 +33,7 @@ CATEGORIES = (
     "db",        # octdb version creation, tombstoning, reclamation
     "clock",     # virtual-clock advances
     "audit",     # destructive history mutations (the audit journal's mirror)
+    "persist",   # session save/load/compact (chunk store + journal)
 )
 
 

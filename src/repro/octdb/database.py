@@ -9,12 +9,14 @@ reclaimer, until which point they can be undeleted.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
 from repro.clock import GLOBAL_CLOCK, VirtualClock
 from repro.errors import ObjectNotFound, VersionConflict
 from repro.obs import METRICS, TRACER
+from repro.octdb.chunkstore import LazyPayload
 from repro.octdb.naming import ObjectName, parse_name
 
 
@@ -82,6 +84,14 @@ class DesignDatabase:
         #: orphan — nothing records which committed computation it reuses.
         self._alias_sources: dict[str, str] = {}
         self._aliased_by: dict[str, list[str]] = {}
+        #: Journal hook: called as ``on_mutation(kind, details)`` after every
+        #: state change (put/alias/delete/undelete/pin/reclaim).  A
+        #: persistent session uses it to append write-ahead journal entries.
+        self.on_mutation: Callable[[str, dict[str, Any]], None] | None = None
+
+    def _mutated(self, kind: str, **details: Any) -> None:
+        if self.on_mutation is not None:
+            self.on_mutation(kind, details)
 
     # ------------------------------------------------------------------ write
 
@@ -118,6 +128,9 @@ class DesignDatabase:
         if TRACER.enabled:
             TRACER.event("db.version", cat="db", object=str(obj.name),
                          creator=creator, size=obj.size)
+        self._mutated("put", name=str(obj.name), payload=payload,
+                      created_at=obj.created_at, creator=creator,
+                      size=obj.size)
         return obj
 
     def alias(
@@ -151,6 +164,8 @@ class DesignDatabase:
         if TRACER.enabled:
             TRACER.event("db.alias", cat="db", object=str(obj.name),
                          source=str(source.name))
+        self._mutated("alias", name=str(obj.name), source=str(source.name),
+                      created_at=obj.created_at)
         return obj
 
     def _note_alias(self, alias: str, source: str) -> None:
@@ -199,9 +214,18 @@ class DesignDatabase:
 
         Tombstoned versions remain fetchable by explicit version until they
         are physically reclaimed — this is what makes "undelete" possible.
+
+        A lazily restored entry carries a :class:`LazyPayload` handle; this
+        is the choke point where it is swapped for the decoded payload, so
+        every caller of ``get`` sees real payloads and restore cost stays
+        proportional to the objects actually touched.
         """
         entry = self._entry(name)
         entry.last_access = self.clock.now
+        if isinstance(entry.obj.payload, LazyPayload):
+            entry.obj = dataclasses.replace(
+                entry.obj, payload=entry.obj.payload.materialize()
+            )
         return entry.obj
 
     def exists(self, name: str | ObjectName) -> bool:
@@ -241,23 +265,31 @@ class DesignDatabase:
             if TRACER.enabled:
                 TRACER.event("db.delete", cat="db",
                              object=str(entry.obj.name))
+            self._mutated("delete", name=str(entry.obj.name),
+                          at=entry.deleted_at)
 
     def undelete(self, name: str | ObjectName) -> None:
         """Resurrect a tombstoned version that has not been reclaimed yet."""
         entry = self._entry(name)
-        entry.deleted_at = None
+        if entry.deleted_at is not None:
+            entry.deleted_at = None
+            self._mutated("undelete", name=str(entry.obj.name))
 
     def is_deleted(self, name: str | ObjectName) -> bool:
         return self._entry(name).deleted_at is not None
 
     def pin(self, name: str | ObjectName, pinned: bool = True) -> None:
         """Protect a version from physical reclamation (e.g. task outputs)."""
-        self._entry(name).pinned = pinned
+        entry = self._entry(name)
+        if entry.pinned != pinned:
+            entry.pinned = pinned
+            self._mutated("pin", name=str(entry.obj.name), pinned=pinned)
 
     def reclaim(
         self,
         grace_seconds: float = 0.0,
         archive: Callable[[VersionedObject], None] | None = None,
+        max_versions: int | None = None,
     ) -> list[ObjectName]:
         """Physically reclaim tombstoned versions older than ``grace_seconds``.
 
@@ -265,11 +297,18 @@ class DesignDatabase:
         that have not been undeleted within the grace period are removed (or
         handed to ``archive`` — the tertiary-storage hook of §5.4).
         Returns the names reclaimed.
+
+        ``max_versions`` bounds one call so reclamation can run as an
+        incremental background pass instead of a stop-the-world sweep;
+        progress is monotonic because a reclaimed slot can never match again.
         """
         now = self.clock.now
         reclaimed: list[ObjectName] = []
         for chain in self._versions.values():
             for entry in chain:
+                if max_versions is not None and \
+                        len(reclaimed) >= max_versions:
+                    break
                 if entry.obj is None or entry.pinned:
                     continue
                 if entry.deleted_at is None:
@@ -281,10 +320,15 @@ class DesignDatabase:
                 reclaimed.append(entry.obj.name)
                 self._bytes_live -= entry.obj.size
                 entry.obj = None  # type: ignore[assignment]
+            else:
+                continue
+            break
         if reclaimed:
             METRICS.counter("db.versions_reclaimed").inc(len(reclaimed))
             if TRACER.enabled:
                 TRACER.event("db.reclaim", cat="db", count=len(reclaimed))
+            self._mutated("reclaim",
+                          names=[str(name) for name in reclaimed])
         return reclaimed
 
     # ------------------------------------------------------------- statistics

@@ -4,20 +4,38 @@ The thesis keeps a persistent copy of the design history for inter-process
 communication between the task and activity managers (§5.3) and so that
 reclamation can run as an independent process.  Here persistence is JSON:
 payload classes register a codec (``to_dict``/``from_dict``) under a type tag.
+
+Two on-disk database formats coexist:
+
+* **format 1** — the original monolithic snapshot: every payload of every
+  version embedded into one ``database.json``.  Still written when no chunk
+  store is supplied, and always readable (old saved sessions keep loading).
+* **format 2** — a thin manifest of content digests: payloads live in a
+  content-addressed :class:`~repro.octdb.chunkstore.ChunkStore`
+  (``objects/<digest[:2]>/<digest>``) and the manifest records only
+  ``(base, version, chunk, size, ...)`` rows.  Loading rebuilds the database
+  with :class:`~repro.octdb.chunkstore.LazyPayload` handles, so restore cost
+  is O(touched objects), not O(history).
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
+import warnings
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.errors import PersistenceError
+from repro.obs import METRICS
+from repro.octdb.chunkstore import ChunkStore, LazyPayload, unwrap_payload
 from repro.octdb.database import DesignDatabase, VersionedObject, _Entry, _estimate_size
-from repro.octdb.naming import ObjectName
+from repro.octdb.naming import ObjectName, parse_name
 
 _ENCODERS: dict[type, tuple[str, Callable[[Any], dict]]] = {}
 _DECODERS: dict[str, Callable[[dict], Any]] = {}
+
+#: Payload type names already warned about falling back to ``repr``.
+_REPR_WARNED: set[str] = set()
 
 
 def register_payload_codec(
@@ -35,13 +53,30 @@ def register_payload_codec(
 
 
 def encode_payload(payload: Any) -> Any:
-    """Encode a payload into a JSON-compatible value."""
+    """Encode a payload into a JSON-compatible value.
+
+    A payload without a registered codec that is not JSON-native falls back
+    to ``repr`` — which decodes to a *string*, not the original object.  The
+    fallback is counted (``persist.repr_fallback``) and warned about once
+    per type so the loss is never silent.
+    """
+    payload = unwrap_payload(payload)
     for cls, (tag, encode) in _ENCODERS.items():
         if isinstance(payload, cls):
             return {"__type__": tag, "data": encode(payload)}
-    # JSON-native values pass through; anything else is stored by repr only.
     if isinstance(payload, (type(None), bool, int, float, str, list, dict)):
         return {"__type__": "json", "data": payload}
+    METRICS.counter("persist.repr_fallback").inc()
+    type_name = type(payload).__name__
+    if type_name not in _REPR_WARNED:
+        _REPR_WARNED.add(type_name)
+        warnings.warn(
+            f"payload of type {type_name!r} has no registered codec and is "
+            f"being persisted as its repr(); it will decode to a string. "
+            f"Register one with register_payload_codec({type_name}, ...).",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     return {"__type__": "repr", "data": repr(payload)}
 
 
@@ -57,8 +92,27 @@ def decode_payload(blob: Any) -> Any:
     return decoder(blob["data"])
 
 
-def save_database(db: DesignDatabase, path: str | Path) -> None:
-    """Serialize the whole database (including tombstones) to a JSON file."""
+# --------------------------------------------------------------------- saving
+
+
+def save_database(
+    db: DesignDatabase,
+    path: str | Path,
+    store: ChunkStore | None = None,
+) -> None:
+    """Serialize the database (including tombstones) to a JSON file.
+
+    With a ``store``, payloads go to content-addressed chunks and ``path``
+    receives a thin format-2 manifest; without one, the original format-1
+    snapshot (payloads embedded) is written.
+    """
+    if store is None:
+        _save_v1(db, path)
+    else:
+        _save_v2(db, path, store)
+
+
+def _save_v1(db: DesignDatabase, path: str | Path) -> None:
     doc: dict[str, Any] = {"now": db.clock.now, "objects": []}
     for base, chain in db._versions.items():
         for entry in chain:
@@ -83,11 +137,135 @@ def save_database(db: DesignDatabase, path: str | Path) -> None:
     Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
 
 
-def load_database(path: str | Path, db: DesignDatabase | None = None) -> DesignDatabase:
-    """Reconstruct a database saved by :func:`save_database`."""
-    doc = json.loads(Path(path).read_text())
+def _save_v2(db: DesignDatabase, path: str | Path, store: ChunkStore) -> None:
+    # Deterministic row order (sorted base, then version) makes the manifest
+    # byte-identical across save → load → save round trips.
+    objects: list[dict[str, Any]] = []
+    chains = db._versions
+    for base in sorted(chains):
+        if isinstance(chains, LazyChainMap) and chains.is_pending(base):
+            # Untouched since restore: the parked manifest rows are already
+            # exactly what this save would produce — emit them verbatim,
+            # copying chunk bytes only when saving into a different store.
+            for row in chains.pending_rows(base):
+                chunk = row.get("chunk")
+                if chunk:
+                    if store.has(chunk):
+                        METRICS.counter("persist.chunks_deduped").inc()
+                    else:
+                        store.put_blob(chains.store.load_blob(chunk))
+                objects.append(row)
+            continue
+        for index, entry in enumerate(chains[base]):
+            version = index + 1
+            if entry.obj is None:
+                objects.append({
+                    "base": base,
+                    "version": version,
+                    "reclaimed": True,
+                    "deleted_at": entry.deleted_at,
+                })
+                continue
+            # An unmaterialized LazyPayload short-circuits to its digest —
+            # re-saving an untouched restored object encodes nothing.
+            digest = store.put_payload(entry.obj.payload)
+            objects.append({
+                "base": base,
+                "version": version,
+                "created_at": entry.obj.created_at,
+                "creator": entry.obj.creator,
+                "chunk": digest,
+                "size": entry.obj.size,
+                "deleted_at": entry.deleted_at,
+                "pinned": entry.pinned,
+            })
+    doc: dict[str, Any] = {
+        "format": 2,
+        "now": db.clock.now,
+        "objects": objects,
+        "aliases": db.aliases(),
+    }
+    Path(path).write_text(json.dumps(doc, indent=1, sort_keys=True))
+
+
+# -------------------------------------------------------------------- loading
+
+
+def load_database(
+    path: str | Path,
+    db: DesignDatabase | None = None,
+    store: ChunkStore | None = None,
+) -> DesignDatabase:
+    """Reconstruct a database saved by :func:`save_database` (either format).
+
+    Format-2 manifests need their chunk store; when ``store`` is omitted it
+    defaults to the ``objects/`` directory next to the manifest.
+    """
+    path = Path(path)
+    doc = json.loads(path.read_text())
     if db is None:   # NB: an empty DesignDatabase is falsy (it has __len__)
         db = DesignDatabase()
+    fmt = doc.get("format", 1)
+    if fmt == 1:
+        return _load_v1(doc, db)
+    if fmt == 2:
+        if store is None:
+            store = ChunkStore(path.parent / "objects")
+        return _load_v2(doc, db, store)
+    raise PersistenceError(f"unknown database format {fmt!r} in {path}")
+
+
+def _version_slot(db: DesignDatabase, name: str) -> _Entry:
+    """The raw chain slot for a *versioned* name; reclaimed slots allowed.
+
+    Raises :class:`PersistenceError` when the reference does not resolve —
+    a saved alias pointing at a version the snapshot never stored means the
+    snapshot is corrupt, and loading it silently would double-count storage
+    and lose reuse lineage.
+    """
+    oname = parse_name(name)
+    chain = db._versions.get(oname.base)
+    if chain is None or oname.version is None \
+            or not 1 <= oname.version <= len(chain):
+        raise PersistenceError(
+            f"alias reference {name!r} does not resolve to a stored version"
+        )
+    return chain[oname.version - 1]
+
+
+def _restore_aliases(db: DesignDatabase, aliases: dict[str, str],
+                     rebind: bool) -> None:
+    """Re-establish alias lineage (and, for format 1, payload sharing).
+
+    An alias entry shares its source's payload and accounts zero storage.
+    In format 2 the sharing falls out of the chunk store's decoded-payload
+    cache (alias and source reference the same digest), so only lineage
+    needs restoring; format 1 embedded a *copy* of the payload, so the
+    alias entry must be rebound to the source's decoded object.
+
+    A source slot that exists but was reclaimed is legitimate (the source
+    died after the alias was cut): the alias keeps its own payload copy.
+    Anything else that fails to resolve raises.
+    """
+    import dataclasses
+
+    for alias, source in aliases.items():
+        alias_entry = _version_slot(db, alias)
+        source_entry = _version_slot(db, source)
+        db._note_alias(alias, source)
+        if not rebind or alias_entry.obj is None:
+            continue
+        if source_entry.obj is None:
+            # Source reclaimed after aliasing: the alias's embedded copy is
+            # now the only one, so its accounted size stands.
+            continue
+        db._bytes_live -= alias_entry.obj.size
+        alias_entry.obj = dataclasses.replace(
+            alias_entry.obj, payload=source_entry.obj.payload, size=0
+        )
+
+
+def _load_v1(doc: dict[str, Any], db: DesignDatabase) -> DesignDatabase:
     db.clock.advance_to(doc.get("now", 0.0))
     for record in doc["objects"]:
         chain = db._versions.setdefault(record["base"], [])
@@ -110,19 +288,143 @@ def load_database(path: str | Path, db: DesignDatabase | None = None) -> DesignD
             )
         )
         db._bytes_live += obj.size
-    # Restore reuse back-links and re-establish alias semantics: an alias
-    # entry shares its source's payload and accounts zero storage.  Without
-    # this rebinding a restored alias would double-count its payload bytes
-    # and lose the lineage that marks it as a reused version.
-    for alias, source in doc.get("aliases", {}).items():
-        db._note_alias(alias, source)
-        try:
-            alias_entry = db._entry(alias)
-            source_entry = db._entry(source)
-        except Exception:
+    _restore_aliases(db, doc.get("aliases", {}), rebind=True)
+    return db
+
+
+def _entries_from_rows(base: str, rows: list[dict[str, Any]],
+                       store: ChunkStore) -> list[_Entry]:
+    """Build one base's chain slots from its manifest rows."""
+    chain: list[_Entry] = []
+    for row in rows:
+        if row.get("reclaimed"):
+            chain.append(_Entry(obj=None, deleted_at=row["deleted_at"]))  # type: ignore[arg-type]
             continue
-        db._bytes_live -= alias_entry.obj.size
-        alias_entry.obj = dataclasses.replace(
-            alias_entry.obj, payload=source_entry.obj.payload, size=0
+        obj = VersionedObject(
+            name=ObjectName(base, row["version"]),
+            payload=LazyPayload(store, row["chunk"]),
+            created_at=row["created_at"],
+            creator=row.get("creator", ""),
+            size=row["size"],
         )
+        chain.append(_Entry(obj=obj, deleted_at=row["deleted_at"],
+                            pinned=row.get("pinned", False)))
+    return chain
+
+
+class LazyChainMap(dict):
+    """``{base: [slot, ...]}`` that builds chains from manifest rows lazily.
+
+    This is what makes restore O(touched): a format-2 load parks each
+    base's raw manifest rows here instead of constructing every entry
+    object up front, and a chain is built only when something touches that
+    base — a ``get``, a ``put`` extending the chain, a replayed delete.
+    Whole-database scans (``save``, ``find``, ``reclaim``) materialize
+    everything through ``values()``/``items()``; key-only iteration
+    (``sorted(db._versions)``, ``len``) stays lazy.
+
+    The journal replay path reads and mutates parked rows directly (see
+    ``repro.activity.persistence``), so replaying a journal does not force
+    chains to materialize either.
+    """
+
+    def __init__(self, store: ChunkStore):
+        super().__init__()
+        self.store = store
+        self._pending: dict[str, list[dict[str, Any]]] = {}
+
+    # ---------------------------------------------------- pending management
+
+    def park(self, base: str, rows: list[dict[str, Any]]) -> None:
+        self._pending[base] = rows
+
+    def is_pending(self, base: str) -> bool:
+        return base in self._pending
+
+    def pending_rows(self, base: str) -> list[dict[str, Any]]:
+        return self._pending[base]
+
+    def _build(self, base: str) -> list[_Entry]:
+        chain = _entries_from_rows(base, self._pending.pop(base), self.store)
+        dict.__setitem__(self, base, chain)
+        return chain
+
+    def materialize_all(self) -> None:
+        for base in list(self._pending):
+            self._build(base)
+
+    # --------------------------------------------------------- dict protocol
+
+    def __missing__(self, base: str) -> list[_Entry]:
+        if base in self._pending:
+            return self._build(base)
+        raise KeyError(base)
+
+    def __contains__(self, base: object) -> bool:
+        return dict.__contains__(self, base) or base in self._pending
+
+    def __len__(self) -> int:
+        return dict.__len__(self) + len(self._pending)
+
+    def __iter__(self):
+        yield from dict.__iter__(self)
+        yield from self._pending
+
+    def get(self, base, default=None):
+        if dict.__contains__(self, base):
+            return dict.__getitem__(self, base)
+        if base in self._pending:
+            return self._build(base)
+        return default
+
+    def setdefault(self, base, default=None):
+        if dict.__contains__(self, base):
+            return dict.__getitem__(self, base)
+        if base in self._pending:
+            return self._build(base)
+        dict.__setitem__(self, base, default)
+        return default
+
+    def keys(self):
+        return list(self)
+
+    def values(self):
+        self.materialize_all()
+        return dict.values(self)
+
+    def items(self):
+        self.materialize_all()
+        return dict.items(self)
+
+
+def _load_v2(doc: dict[str, Any], db: DesignDatabase,
+             store: ChunkStore) -> DesignDatabase:
+    db.clock.advance_to(doc.get("now", 0.0))
+    chains = LazyChainMap(store)
+    for base, chain in db._versions.items():
+        dict.__setitem__(chains, base, chain)
+    db._versions = chains
+    rows_by_base: dict[str, list[dict[str, Any]]] = {}
+    for record in doc["objects"]:
+        rows_by_base.setdefault(record["base"], []).append(record)
+    for base, rows in rows_by_base.items():
+        prior = (dict.__getitem__(chains, base)
+                 if dict.__contains__(chains, base) else None)
+        offset = len(prior) if prior is not None else 0
+        for index, row in enumerate(rows):
+            if row["version"] != offset + index + 1:
+                raise PersistenceError(
+                    f"manifest rows for {base!r} are not a contiguous "
+                    f"version chain (got version {row['version']}, "
+                    f"expected {offset + index + 1})"
+                )
+        if prior is not None:
+            # Loading on top of an already-populated base (rare): extend
+            # the built chain eagerly.
+            prior.extend(_entries_from_rows(base, rows, store))
+        else:
+            chains.park(base, rows)
+        db._bytes_live += sum(0 if row.get("reclaimed") else row["size"]
+                              for row in rows)
+    _restore_aliases(db, doc.get("aliases", {}), rebind=False)
     return db

@@ -1,0 +1,489 @@
+"""Tests for content-addressed persistence: chunk store, write-ahead
+journal, lazy restore, and the round-trip edge cases the monolithic
+format never had to face."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.activity.persistence import (
+    FORMAT_VERSION,
+    PersistentSession,
+    compact_store,
+    load_system,
+    save_system,
+)
+from repro.activity.reclamation import Reclaimer
+from repro.clock import VirtualClock
+from repro.core import LWTSystem
+from repro.core.history import HistoryRecord, StepRecord
+from repro.errors import PersistenceError
+from repro.obs import METRICS
+from repro.octdb import DesignDatabase
+from repro.octdb.chunkstore import ChunkStore, LazyPayload
+from repro.octdb.persistence import load_database, save_database
+
+
+def make_record(task: str, inputs=(), outputs=(), at: float = 0.0) -> HistoryRecord:
+    record = HistoryRecord(
+        task=task, inputs=tuple(inputs), outputs=tuple(outputs),
+        steps=(StepRecord(name="run", tool=task, options=(),
+                          inputs=tuple(inputs), outputs=tuple(outputs),
+                          host="h0", started_at=at, completed_at=at,
+                          status=0),),
+    )
+    record.recorded_at = at
+    return record
+
+
+@pytest.fixture
+def lwt():
+    return LWTSystem(clock=VirtualClock())
+
+
+def counter(name: str) -> float:
+    return METRICS.counter(name).value
+
+
+# --------------------------------------------------------------- chunk store
+
+
+class TestChunkStore:
+    def test_identical_payloads_share_one_chunk(self, tmp_path):
+        store = ChunkStore(tmp_path / "objects")
+        d1 = store.put_payload({"netlist": list(range(50))})
+        d2 = store.put_payload({"netlist": list(range(50))})
+        assert d1 == d2
+        assert len(store) == 1
+
+    def test_chunk_path_is_sharded_by_digest_prefix(self, tmp_path):
+        store = ChunkStore(tmp_path / "objects")
+        digest = store.put_payload({"x": 1})
+        assert (tmp_path / "objects" / digest[:2] / digest).exists()
+
+    def test_missing_chunk_raises(self, tmp_path):
+        store = ChunkStore(tmp_path / "objects")
+        with pytest.raises(PersistenceError):
+            store.load_payload("0" * 40)
+
+    def test_decode_cache_bounds_lazy_decodes(self, tmp_path):
+        store = ChunkStore(tmp_path / "objects")
+        digest = store.put_payload({"big": "payload"})
+        before = counter("persist.lazy_decodes")
+        for _ in range(5):
+            LazyPayload(store, digest).materialize()
+        assert counter("persist.lazy_decodes") == before + 1
+
+    def test_gc_deletes_only_unreferenced(self, tmp_path):
+        store = ChunkStore(tmp_path / "objects")
+        keep = store.put_payload({"keep": True})
+        drop = store.put_payload({"drop": True})
+        assert store.gc({keep}) == 1
+        assert store.has(keep)
+        assert not store.has(drop)
+
+
+# ------------------------------------------------------- database round-trip
+
+
+class TestDatabaseFormat2:
+    def test_manifest_has_no_embedded_payloads(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        db.put("cell", {"transistors": 4000})
+        save_database(db, tmp_path / "database.json",
+                      store=ChunkStore(tmp_path / "objects"))
+        doc = json.loads((tmp_path / "database.json").read_text())
+        assert doc["format"] == 2
+        assert "payload" not in doc["objects"][0]
+        assert doc["objects"][0]["chunk"]
+
+    def test_restore_is_lazy_until_get(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        for i in range(20):
+            db.put(f"cell{i}", {"index": i})
+        save_database(db, tmp_path / "database.json",
+                      store=ChunkStore(tmp_path / "objects"))
+
+        before = counter("persist.lazy_decodes")
+        db2 = DesignDatabase(clock=VirtualClock())
+        load_database(tmp_path / "database.json", db2,
+                      store=ChunkStore(tmp_path / "objects"))
+        assert counter("persist.lazy_decodes") == before
+        assert db2.get("cell7@1").payload == {"index": 7}
+        assert counter("persist.lazy_decodes") == before + 1
+
+    def test_reclaimed_tombstone_only_chain_roundtrips(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        db.put("scratch", {"v": 1})
+        db.put("scratch", {"v": 2})
+        db.delete("scratch@1")
+        db.delete("scratch@2")
+        clock.advance(100)
+        assert len(db.reclaim(grace_seconds=1.0)) == 2
+        save_database(db, tmp_path / "database.json",
+                      store=ChunkStore(tmp_path / "objects"))
+
+        db2 = DesignDatabase(clock=VirtualClock())
+        load_database(tmp_path / "database.json", db2,
+                      store=ChunkStore(tmp_path / "objects"))
+        # The chain survives as tombstones: version numbering stays dense,
+        # and a third put allocates version 3, not version 1.
+        assert db2.exists("scratch@1") is False
+        assert db2.put("scratch", {"v": 3}).name.version == 3
+
+    def test_alias_of_reclaimed_source_still_loads(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        db.put("tmp", {"shared": 1})
+        db.alias("final", "tmp@1")
+        db.delete("tmp@1")
+        clock.advance(100)
+        db.reclaim(grace_seconds=1.0)
+        save_database(db, tmp_path / "database.json",
+                      store=ChunkStore(tmp_path / "objects"))
+
+        db2 = DesignDatabase(clock=VirtualClock())
+        load_database(tmp_path / "database.json", db2,
+                      store=ChunkStore(tmp_path / "objects"))
+        assert db2.get("final@1").payload == {"shared": 1}
+
+    def test_dangling_alias_raises_not_swallows(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        db.put("a", {"v": 1})
+        db.alias("b", "a@1")
+        path = tmp_path / "database.json"
+        save_database(db, path, store=ChunkStore(tmp_path / "objects"))
+        doc = json.loads(path.read_text())
+        doc["aliases"]["b@1"] = "ghost@9"
+        path.write_text(json.dumps(doc))
+
+        db2 = DesignDatabase(clock=VirtualClock())
+        with pytest.raises(PersistenceError):
+            load_database(path, db2, store=ChunkStore(tmp_path / "objects"))
+
+    def test_noncontiguous_chain_rejected(self, tmp_path):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        db.put("a", {"v": 1})
+        db.put("a", {"v": 2})
+        path = tmp_path / "database.json"
+        save_database(db, path, store=ChunkStore(tmp_path / "objects"))
+        doc = json.loads(path.read_text())
+        del doc["objects"][0]  # drop a@1, keeping a@2
+        path.write_text(json.dumps(doc))
+
+        with pytest.raises(PersistenceError):
+            load_database(path, DesignDatabase(clock=VirtualClock()),
+                          store=ChunkStore(tmp_path / "objects"))
+
+
+class TestReprFallback:
+    def test_unregistered_payload_warns_once_and_counts(self, tmp_path):
+        class Opaque:
+            def __repr__(self):
+                return "<opaque>"
+
+        from repro.octdb.persistence import encode_payload
+
+        before = counter("persist.repr_fallback")
+        with pytest.warns(RuntimeWarning, match="Opaque"):
+            encoded = encode_payload(Opaque())
+        assert encoded["__type__"] == "repr"
+        assert counter("persist.repr_fallback") == before + 1
+        # Second fallback for the same type counts but does not re-warn.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            encode_payload(Opaque())
+        assert counter("persist.repr_fallback") == before + 2
+
+
+# ------------------------------------------------------------ system-level
+
+
+class TestSystemRoundTripEdges:
+    def test_empty_sds_roundtrips(self, lwt, tmp_path):
+        lwt.create_thread("alpha", owner="a")
+        lwt.create_sds("empty")
+        save_system(lwt, tmp_path / "snap")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        assert restored.sds("empty").objects() == frozenset()
+
+    def test_import_of_since_dropped_thread(self, lwt, tmp_path):
+        alpha = lwt.create_thread("alpha", owner="a")
+        beta = lwt.create_thread("beta", owner="b")
+        alpha.import_thread(beta)
+        lwt.drop_thread("beta")
+        save_system(lwt, tmp_path / "snap")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        # The dangling import link is dropped, not resurrected and not fatal.
+        assert "beta" not in restored.threads
+        assert not restored.thread("alpha").imports
+
+    def test_format1_snapshot_still_loads(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        obj = lwt.db.put("cell", {"k": 1})
+        thread.commit_record(make_record("synth", outputs=(str(obj.name),)))
+        save_system(lwt, tmp_path / "v1", fmt=1)
+        doc = json.loads((tmp_path / "v1" / "history.json").read_text())
+        assert doc["format"] == 1
+
+        restored = load_system(tmp_path / "v1",
+                               LWTSystem(clock=VirtualClock()))
+        assert restored.db.get("cell@1").payload == {"k": 1}
+        assert len(restored.thread("alpha").stream) == len(thread.stream)
+
+    def test_restore_defers_memo_warming(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        obj = lwt.db.put("cell", {"k": 1})
+        thread.commit_record(make_record("synth", outputs=(str(obj.name),)))
+        save_system(lwt, tmp_path / "snap")
+
+        decodes = counter("persist.lazy_decodes")
+        warms = counter("memo.deferred_warms")
+        restored = load_system(tmp_path / "snap",
+                               LWTSystem(clock=VirtualClock()))
+        # Restore itself fingerprints nothing and decodes nothing...
+        assert counter("persist.lazy_decodes") == decodes
+        assert counter("memo.deferred_warms") == warms
+        # ...but the cache is fully warm on first use.
+        assert len(restored.thread("alpha").memo) > 0
+        assert counter("memo.deferred_warms") > warms
+
+
+class TestPersistentSession:
+    def test_incremental_save_appends_journal(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        obj = lwt.db.put("cell", {"k": 1})
+        thread.commit_record(make_record("synth", outputs=(str(obj.name),)))
+        session.save()
+        assert not (tmp_path / "s" / "journal.jsonl").exists()
+
+        lwt.clock.advance(5)
+        obj2 = lwt.db.put("cell", {"k": 2})
+        thread.commit_record(make_record("opt", inputs=(str(obj.name),),
+                                         outputs=(str(obj2.name),),
+                                         at=lwt.clock.now))
+        manifest_before = (tmp_path / "s" / "database.json").read_text()
+        session.save()
+        # Incremental: the manifest was not rewritten, the journal carries
+        # the delta.
+        assert (tmp_path / "s" / "database.json").read_text() \
+            == manifest_before
+        assert (tmp_path / "s" / "journal.jsonl").exists()
+
+        restored = load_system(tmp_path / "s",
+                               LWTSystem(clock=VirtualClock()))
+        assert restored.db.get("cell@2").payload == {"k": 2}
+        stream = restored.thread("alpha").stream
+        assert [stream.node(p).record.task for p in stream.points()
+                if stream.node(p).record] == ["synth", "opt"]
+        assert restored.thread("alpha").current_cursor \
+            == thread.current_cursor
+
+    def test_rework_erase_replays(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        o1 = lwt.db.put("a", {"v": 1})
+        p1 = thread.commit_record(make_record("synth",
+                                              outputs=(str(o1.name),)))
+        o2 = lwt.db.put("b", {"v": 2})
+        thread.commit_record(make_record("route", inputs=(str(o1.name),),
+                                         outputs=(str(o2.name),)))
+        session.save()
+
+        thread.move_cursor(p1, erase=True)
+        session.save()
+
+        restored = load_system(tmp_path / "s",
+                               LWTSystem(clock=VirtualClock()))
+        r_thread = restored.thread("alpha")
+        assert r_thread.current_cursor == p1
+        assert len(r_thread.stream) == len(thread.stream)
+        assert restored.db.is_deleted("b@1") == lwt.db.is_deleted("b@1")
+
+    def test_unjournalable_structure_promotes_to_checkpoint(
+            self, lwt, tmp_path):
+        from repro.core.thread_ops import fork
+
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        session.save()
+        assert not session.dirty
+        lwt.adopt_thread(fork(thread, "alpha-fork"))
+        assert session.dirty
+        session.save()
+        assert not session.dirty
+        assert not (tmp_path / "s" / "journal.jsonl").exists()
+        restored = load_system(tmp_path / "s",
+                               LWTSystem(clock=VirtualClock()))
+        assert "alpha-fork" in restored.threads
+
+    def test_audit_trail_survives_journal_restore(self, lwt, tmp_path):
+        from repro.obs.provenance import AUDIT
+
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        session.save()
+        obj = lwt.db.put("cell", {"k": 1})
+        thread.commit_record(make_record("synth", outputs=(str(obj.name),)))
+        session.save()
+        trail = AUDIT.to_dicts()
+
+        load_system(tmp_path / "s", LWTSystem(clock=VirtualClock()))
+        assert AUDIT.to_dicts() == trail
+
+    def test_compact_collects_reclaimed_chunks(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        keep = lwt.db.put("keep", {"payload": "keep"})
+        drop = lwt.db.put("drop", {"payload": "drop"})
+        thread.commit_record(make_record("synth", outputs=(str(keep.name),
+                                                           str(drop.name))))
+        session.save()
+        lwt.db.delete(str(drop.name))
+        lwt.clock.advance(100)
+        lwt.db.reclaim(grace_seconds=1.0)
+        assert session.compact() == 1
+        # The surviving snapshot still restores.
+        restored = load_system(tmp_path / "s",
+                               LWTSystem(clock=VirtualClock()))
+        assert restored.db.get("keep@1").payload == {"payload": "keep"}
+        # Standalone compaction finds nothing more to do.
+        assert compact_store(tmp_path / "s") == 0
+
+    def test_open_resumes_incrementally(self, lwt, tmp_path):
+        thread = lwt.create_thread("alpha", owner="a")
+        session = PersistentSession(lwt, tmp_path / "s")
+        obj = lwt.db.put("cell", {"k": 1})
+        thread.commit_record(make_record("synth", outputs=(str(obj.name),)))
+        session.save()
+
+        resumed = PersistentSession.open(tmp_path / "s",
+                                         LWTSystem(clock=VirtualClock()))
+        obj2 = resumed.lwt.db.put("cell", {"k": 2})
+        resumed.lwt.thread("alpha").commit_record(
+            make_record("opt", inputs=(str(obj.name),),
+                        outputs=(str(obj2.name),)))
+        manifest_before = (tmp_path / "s" / "database.json").read_text()
+        resumed.save()
+        assert (tmp_path / "s" / "database.json").read_text() \
+            == manifest_before
+
+        final = load_system(tmp_path / "s",
+                            LWTSystem(clock=VirtualClock()))
+        assert final.db.get("cell@2").payload == {"k": 2}
+
+
+# ------------------------------------------------------------- hypothesis
+
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), st.integers(0, 4), st.integers(0, 9)),
+        st.tuples(st.just("commit"), st.integers(0, 4), st.integers(0, 9)),
+        st.tuples(st.just("delete"), st.integers(0, 4), st.just(0)),
+        st.tuples(st.just("alias"), st.integers(0, 4), st.integers(0, 4)),
+        st.tuples(st.just("contribute"), st.integers(0, 4), st.just(0)),
+    ),
+    min_size=1, max_size=20,
+)
+
+
+class TestManifestDeterminism:
+    @settings(max_examples=25, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(ops=OPS)
+    def test_save_load_save_is_byte_identical(self, ops, tmp_path):
+        """save → load → save reproduces both manifests byte for byte,
+        for arbitrary mutation sequences."""
+        import shutil
+
+        for sub in ("a", "b"):
+            shutil.rmtree(tmp_path / sub, ignore_errors=True)
+        clock = VirtualClock()
+        lwt = LWTSystem(clock=clock)
+        thread = lwt.create_thread("alpha", owner="a")
+        sds = lwt.create_sds("shared", [thread])
+        for op, i, j in ops:
+            clock.advance(1)
+            base = f"obj{i}"
+            if op == "put":
+                lwt.db.put(base, {"value": j})
+            elif op == "commit":
+                obj = lwt.db.put(base, {"value": j})
+                thread.commit_record(make_record(
+                    f"task{j}", outputs=(str(obj.name),), at=clock.now))
+            elif op == "delete":
+                versions = lwt.db._versions.get(base, ())
+                if versions and not lwt.db.is_deleted(f"{base}@1"):
+                    lwt.db.delete(f"{base}@1")
+            elif op == "alias":
+                if lwt.db._versions.get(f"obj{j}"):
+                    lwt.db.alias(base + "-alias", f"obj{j}@1")
+            elif op == "contribute":
+                from repro.errors import ObjectNotFound
+
+                if lwt.db.exists(f"{base}@1") \
+                        and not lwt.db.is_deleted(f"{base}@1"):
+                    try:
+                        sds.contribute(thread, f"{base}@1")
+                    except ObjectNotFound:
+                        pass  # never committed: not visible to the thread
+
+        save_system(lwt, tmp_path / "a")
+        reloaded = load_system(tmp_path / "a",
+                               LWTSystem(clock=VirtualClock()))
+        save_system(reloaded, tmp_path / "b")
+        for name in ("database.json", "history.json"):
+            assert (tmp_path / "a" / name).read_text() \
+                == (tmp_path / "b" / name).read_text(), name
+
+
+# ---------------------------------------------------------- budgeted reclaim
+
+
+class TestBudgetedReclaim:
+    def _aged_db(self):
+        clock = VirtualClock()
+        db = DesignDatabase(clock=clock)
+        for i in range(10):
+            db.put(f"junk{i}", {"i": i})
+            db.delete(f"junk{i}@1")
+        clock.advance(1000)
+        return db
+
+    def test_max_versions_caps_one_pass(self):
+        db = self._aged_db()
+        assert len(db.reclaim(grace_seconds=1.0, max_versions=3)) == 3
+
+    def test_repeated_budgeted_passes_converge(self):
+        budgeted = self._aged_db()
+        total = []
+        while True:
+            got = budgeted.reclaim(grace_seconds=1.0, max_versions=4)
+            if not got:
+                break
+            total.extend(got)
+        unbudgeted = self._aged_db()
+        assert sorted(map(str, total)) \
+            == sorted(map(str, unbudgeted.reclaim(grace_seconds=1.0)))
+
+    def test_sweep_accepts_time_budget(self, lwt):
+        thread = lwt.create_thread("alpha", owner="a")
+        reclaimer = Reclaimer(thread)
+        # Zero budget: the sweep must still terminate and report cleanly.
+        report = reclaimer.sweep(max_seconds=0.0, max_versions=0)
+        assert report.records_pruned == 0
