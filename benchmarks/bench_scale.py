@@ -432,7 +432,7 @@ if __name__ == "__main__":
     # BENCH_*.json sidecar carries the analysis profile.
     path = trace_out()
     if path:
-        obs.enable_tracing(stream_to=path)
+        obs.enable_tracing(stream_to=path, runtime=True)
     result = measure_ping_pong(commits=60, moves=20)
     hits = obs.METRICS.value("datascope.cache_hits")
     print(f"ping-pong: {result['cached_visits']} cached vs "

@@ -12,20 +12,32 @@ from __future__ import annotations
 import json
 import os
 import sys
+import time
 from pathlib import Path
 
 from repro import Papyrus, obs
+from repro.obs.runtime import PROFILER, max_rss_bytes, runtime_block
+
+#: Wall clock at harness import — the origin for the always-recorded
+#: ``wall_seconds`` meta key (real process time, profiling or not).
+_T0 = time.perf_counter()
 
 #: Run metadata embedded as the ``meta`` block of every ``BENCH_*.json`` —
 #: what the perf gate needs to decide two runs are comparable (schema
 #: version, host count, workload seed).  Benchmarks add keys via
 #: :func:`note_run_meta`; :func:`fresh_papyrus` records the host count.
+#: ``wall_seconds`` and ``max_rss_bytes`` are refreshed on every call so
+#: the meta block always carries real-clock figures even when runtime
+#: profiling is off (the gate only compares ``hosts``/``schema``, so these
+#: machine-varying keys never break comparability).
 _RUN_META: dict = {}
 
 
 def note_run_meta(**kwargs) -> None:
     """Record metadata for the current run's ``BENCH_*.json`` meta block."""
     _RUN_META.update({k: v for k, v in kwargs.items() if v is not None})
+    _RUN_META["wall_seconds"] = round(time.perf_counter() - _T0, 6)
+    _RUN_META["max_rss_bytes"] = max_rss_bytes()
 
 
 def trace_out() -> str | None:
@@ -54,7 +66,10 @@ def fresh_papyrus(hosts: int = 4, **kwargs) -> Papyrus:
     if path:
         # Stream events to disk as they happen: long benchmark runs stay
         # complete on file even if the in-memory buffer hits capacity.
-        obs.enable_tracing(papyrus.clock, observe_clock=True, stream_to=path)
+        # Observed benchmark runs also profile the real system (runtime=True)
+        # so every BENCH file carries a meaningful per-section breakdown.
+        obs.enable_tracing(papyrus.clock, observe_clock=True, stream_to=path,
+                           runtime=True)
     return papyrus
 
 
@@ -76,11 +91,16 @@ def export_observability(bench_name: str, extra: dict | None = None) -> Path | N
         obs.TRACER.close_stream()
     else:
         events_written = obs.TRACER.export_jsonl(path)
+    note_run_meta()    # refresh wall_seconds / max_rss_bytes at export time
+    runtime = runtime_block()
     payload = {
         "bench": bench_name,
         "meta": {"schema": SNAPSHOT_SCHEMA, **_RUN_META},
         "metrics": obs.metrics_snapshot(),
-        "profile": profile_summary(TraceModel.from_tracer(obs.TRACER)),
+        "profile": profile_summary(
+            TraceModel.from_tracer(obs.TRACER),
+            runtime=PROFILER.report() if PROFILER.enabled else None),
+        "runtime": runtime,
         "trace": {"path": path, "events": events_written,
                   "buffered": len(obs.TRACER.events),
                   "dropped": obs.TRACER.dropped},

@@ -15,6 +15,7 @@ off pays one attribute read per site and nothing more.
 
 from __future__ import annotations
 
+import atexit
 import itertools
 import json
 import time as _time
@@ -53,6 +54,28 @@ class _NullSpan:
 
 
 _NULL_SPAN = _NullSpan()
+
+
+class _StreamHandle:
+    """Scoped handle returned by :meth:`Tracer.stream_to`.
+
+    Entering is a no-op (the stream is already live); exiting closes it, so
+    ``with TRACER.stream_to(path):`` guarantees a complete, flushed JSONL
+    file even if the body raises.  Ignoring the handle entirely is also
+    fine — the tracer's ``atexit`` guard closes the stream at exit.
+    """
+
+    __slots__ = ("_tracer",)
+
+    def __init__(self, tracer: "Tracer"):
+        self._tracer = tracer
+
+    def __enter__(self) -> "_StreamHandle":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self._tracer.close_stream()
+        return False
 
 
 class Span:
@@ -123,6 +146,10 @@ class Tracer:
         #: ``trace.emit_seconds`` counter).
         self.emit_seconds = 0.0
         self._self_metrics: tuple[Any, Any, Any] | None = None
+        #: Runtime profiler to fold emission cost into (see
+        #: :meth:`attach_profiler`); ``None`` until one attaches.
+        self._profiler: Any | None = None
+        self._atexit_registered = False
 
     # ------------------------------------------------------------- lifecycle
 
@@ -134,6 +161,17 @@ class Tracer:
 
     def disable(self) -> None:
         self.enabled = False
+
+    def attach_profiler(self, profiler: Any | None) -> None:
+        """Fold emission cost into ``profiler``'s wall-time accounting.
+
+        With a :class:`repro.obs.runtime.RuntimeProfiler` attached, every
+        ``_append`` charges its measured wall seconds to the profiler's
+        ``trace.emit`` section — which also subtracts them from whatever
+        section was open at the time, so tracing cost is counted exactly
+        once (never inside ``engine.pump`` *and* ``trace.emit``).
+        """
+        self._profiler = profiler
 
     def clear(self) -> None:
         """Drop buffered events and reset IDs (a fresh, deterministic run).
@@ -168,7 +206,7 @@ class Tracer:
 
     # ------------------------------------------------------------- streaming
 
-    def stream_to(self, target: str | IO[str]) -> None:
+    def stream_to(self, target: str | IO[str]) -> "_StreamHandle":
         """Append every event to ``target`` as it is emitted.
 
         Long scenario runs can overflow the in-memory buffer (``capacity``)
@@ -177,10 +215,19 @@ class Tracer:
         for in-process analysis, but the file is the source of truth.
         Re-pointing at the same path is a no-op, so benchmark loops can call
         this once per measurement without truncating their own output.
+
+        The stream is flushed and (for owned files) closed deterministically
+        at interpreter exit via a one-time ``atexit`` guard, so a short CLI
+        run that never calls :meth:`close_stream` cannot truncate its JSONL
+        output.  The returned handle is also a context manager for scoped
+        use: ``with TRACER.stream_to(path): ...`` closes on exit.
         """
+        if not self._atexit_registered:
+            atexit.register(self.close_stream)
+            self._atexit_registered = True
         if isinstance(target, str):
             if self._stream is not None and self._stream_path == target:
-                return
+                return _StreamHandle(self)
             self.close_stream()
             self._stream = open(target, "w", encoding="utf-8")
             self._stream_path = target
@@ -188,6 +235,7 @@ class Tracer:
             self.close_stream()
             self._stream = target
             self._stream_path = None
+        return _StreamHandle(self)
 
     def close_stream(self) -> None:
         """Flush and detach the streaming sink (closing owned files)."""
@@ -230,6 +278,9 @@ class Tracer:
         emit_counter.inc(elapsed)
         event_counter.inc()
         fill_gauge.set(len(self.events) / self.capacity)
+        profiler = self._profiler
+        if profiler is not None and profiler.enabled:
+            profiler.account("trace.emit", elapsed)
 
     def span(self, name: str, cat: str = "task", **args: Any) -> Span | _NullSpan:
         """Open a hierarchical span (use as a context manager)."""

@@ -40,6 +40,7 @@ from repro.cad.registry import Tool, ToolCall, ToolRegistry, ToolResult
 from repro.core.history import StepRecord
 from repro.core.memo import DerivationCache, MemoEntry
 from repro.obs import METRICS, TRACER
+from repro.obs.runtime import PROFILER
 from repro.errors import (
     RestartSignal,
     TaskAborted,
@@ -513,11 +514,12 @@ class TaskExecution:
             return
         self._pumping = True
         try:
-            while self._ready_heap:
-                _, node = heapq.heappop(self._ready_heap)
-                if node.state is not NodeState.READY:
-                    continue
-                self._dispatch(node)
+            with PROFILER.section("engine.pump"):
+                while self._ready_heap:
+                    _, node = heapq.heappop(self._ready_heap)
+                    if node.state is not NodeState.READY:
+                        continue
+                    self._dispatch(node)
         finally:
             self._pumping = False
 
@@ -526,11 +528,12 @@ class TaskExecution:
         waiters = self._waiters.pop(dep_key, None)
         if not waiters:
             return
-        METRICS.counter("engine.wake_checks").inc(len(waiters))
-        for node in waiters:
-            if node.state is not NodeState.PENDING:
-                continue
-            self._satisfy(node, dep_key)
+        with PROFILER.section("engine.wake"):
+            METRICS.counter("engine.wake_checks").inc(len(waiters))
+            for node in waiters:
+                if node.state is not NodeState.PENDING:
+                    continue
+                self._satisfy(node, dep_key)
 
     def _recheck_external(self) -> None:
         """Re-probe dangling direct-database references (rare).
@@ -593,23 +596,25 @@ class TaskExecution:
 
     def _wake_suspended(self) -> None:
         """The list engine's wake path: rescan Suspending until quiescent."""
-        progressed = True
-        while progressed:
-            progressed = False
-            checked = 0
-            for pending in list(self.suspending.values()):
-                # A dispatch may hit the derivation cache and complete
-                # synchronously, recursing into this method — the recursive
-                # call may already have drained entries of our snapshot.
-                if self.suspending.get(pending.key) is not pending:
-                    continue
-                checked += 1
-                if self._ready(pending):
-                    del self.suspending[pending.key]
-                    self._dispatch(pending)
-                    progressed = True
-            if checked:
-                METRICS.counter("engine.wake_checks").inc(checked)
+        with PROFILER.section("engine.wake"):
+            progressed = True
+            while progressed:
+                progressed = False
+                checked = 0
+                for pending in list(self.suspending.values()):
+                    # A dispatch may hit the derivation cache and complete
+                    # synchronously, recursing into this method — the
+                    # recursive call may already have drained entries of our
+                    # snapshot.
+                    if self.suspending.get(pending.key) is not pending:
+                        continue
+                    checked += 1
+                    if self._ready(pending):
+                        del self.suspending[pending.key]
+                        self._dispatch(pending)
+                        progressed = True
+                if checked:
+                    METRICS.counter("engine.wake_checks").inc(checked)
 
     # --------------------------------------------------------------- dispatch
 

@@ -1,0 +1,311 @@
+"""Wall-clock runtime profiler (`repro.obs.runtime`).
+
+Covers the accounting contract (exclusive time, sums bounded by total, the
+tracer-emit fold never double-counting), the disabled-mode no-op guarantee,
+the always-present BENCH runtime block, and the tracer stream lifecycle
+satellites (context-manager close + atexit guard).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runtime import (
+    PROFILER,
+    RuntimeProfiler,
+    max_rss_bytes,
+    render_wall_flame,
+    runtime_block,
+    self_test,
+)
+from repro.obs.tracer import Tracer
+
+
+def spin(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        pass
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off_after():
+    """The global profiler must never leak into other tests (papyrus top
+    frames are byte-identical across runs only while it is disabled)."""
+    yield
+    if PROFILER.enabled:
+        PROFILER.disable()
+    PROFILER.clear()
+    obs.TRACER.attach_profiler(None)
+
+
+class TestDisabledMode:
+    def test_section_is_noop_singleton(self):
+        profiler = RuntimeProfiler(registry=MetricsRegistry())
+        assert profiler.section("a") is profiler.section("b")
+
+    def test_no_registry_writes_when_disabled(self):
+        registry = MetricsRegistry()
+        profiler = RuntimeProfiler(registry=registry)
+        with profiler.section("engine.pump"):
+            pass
+        profiler.account("trace.emit", 0.01)
+        assert registry.snapshot() == {}
+        assert profiler.report()["sections"] == {}
+
+    def test_exceptions_propagate_unswallowed(self):
+        profiler = RuntimeProfiler(registry=MetricsRegistry())
+        with pytest.raises(ValueError, match="boom"):
+            with profiler.section("engine.pump"):
+                raise ValueError("boom")
+        # ... and with the profiler enabled too.
+        profiler.enable(registry=profiler._registry)
+        with pytest.raises(ValueError, match="boom"):
+            with profiler.section("engine.pump"):
+                raise ValueError("boom")
+        assert profiler.report()["sections"]["engine.pump"]["calls"] == 1
+
+
+class TestExclusiveAccounting:
+    def test_nested_sections_sum_bounded_by_total(self):
+        report = self_test()
+        total = sum(s["wall_seconds"] for s in report["sections"].values())
+        assert total <= report["total_wall_seconds"] + 1e-9
+
+    def test_parent_excludes_child_time(self):
+        profiler = RuntimeProfiler(registry=MetricsRegistry())
+        profiler.enable(registry=profiler._registry)
+        with profiler.section("outer"):
+            spin(0.002)
+            with profiler.section("inner"):
+                spin(0.01)
+        profiler.disable()
+        sections = profiler.report()["sections"]
+        # The inner 10ms must be charged to `inner`, not `outer`.
+        assert sections["inner"]["wall_seconds"] > \
+            sections["outer"]["wall_seconds"]
+
+    def test_sections_publish_runtime_metrics(self):
+        registry = MetricsRegistry()
+        profiler = RuntimeProfiler(registry=registry)
+        profiler.enable(registry=registry)
+        with profiler.section("memo.lookup"):
+            pass
+        profiler.disable()
+        snapshot = registry.snapshot()
+        assert snapshot["runtime.calls{section=memo.lookup}"] == 1
+        assert snapshot["runtime.wall_seconds{section=memo.lookup}"] >= 0
+
+    def test_clear_resets_totals(self):
+        profiler = RuntimeProfiler(registry=MetricsRegistry())
+        profiler.enable(registry=profiler._registry)
+        with profiler.section("x"):
+            pass
+        profiler.clear()
+        assert profiler.report()["sections"] == {}
+
+
+class TestEmitFold:
+    """`trace.emit_seconds` folds into the profiler exactly once."""
+
+    def test_emit_charged_to_trace_emit_not_enclosing_section(self):
+        registry = MetricsRegistry()
+        profiler = RuntimeProfiler(registry=registry)
+        profiler.enable(registry=registry)
+        tracer = Tracer(enabled=True)
+        tracer.attach_profiler(profiler)
+        with profiler.section("engine.pump"):
+            for _ in range(200):
+                tracer.event("step.issue", cat="step")
+        profiler.disable()
+        report = profiler.report()
+        sections = report["sections"]
+        assert sections["trace.emit"]["calls"] == 200
+        emit = sections["trace.emit"]["wall_seconds"]
+        assert emit == pytest.approx(tracer.emit_seconds, abs=1e-6)
+        # Double-counting would put the emit seconds inside engine.pump as
+        # well; exclusive accounting keeps the sum bounded by the total.
+        total = sum(s["wall_seconds"] for s in sections.values())
+        assert total <= report["total_wall_seconds"] + 1e-9
+        # The emit cost is counted as obs overhead.
+        assert report["obs_overhead_seconds"] == pytest.approx(emit)
+
+    def test_emit_outside_any_section_still_accounted(self):
+        registry = MetricsRegistry()
+        profiler = RuntimeProfiler(registry=registry)
+        profiler.enable(registry=registry)
+        tracer = Tracer(enabled=True)
+        tracer.attach_profiler(profiler)
+        tracer.event("cursor.move", cat="thread")
+        profiler.disable()
+        assert profiler.report()["sections"]["trace.emit"]["calls"] == 1
+
+    def test_detached_tracer_pays_nothing(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("cursor.move", cat="thread")   # no profiler attached
+        assert tracer.emit_seconds > 0
+
+
+class TestGlobalWiring:
+    def test_enable_tracing_runtime_flag(self):
+        try:
+            obs.enable_tracing(runtime=True)
+            assert PROFILER.enabled
+            assert obs.TRACER._profiler is PROFILER
+        finally:
+            obs.disable_tracing()
+        assert not PROFILER.enabled
+
+    def test_hot_paths_record_sections(self):
+        """End to end: running a real workload under the profiler populates
+        the genuine hot-path sections."""
+        from repro import Papyrus
+
+        try:
+            PROFILER.enable()
+            papyrus = Papyrus.standard(hosts=2)
+            designer = papyrus.open_thread("t")
+            designer.invoke(
+                "Structure_Synthesis",
+                inputs={"Incell": "adder.spec", "Musa_Command": "musa.cmd"},
+                outputs={"Outcell": "adder.layout",
+                         "Cell_Statistics": "adder.stats"},
+            )
+            designer.thread.move_cursor(1)
+            sections = PROFILER.report()["sections"]
+        finally:
+            PROFILER.disable()
+        assert "engine.pump" in sections
+        assert "memo.fingerprint" in sections
+        assert "datascope.thread_state" in sections
+
+
+class TestRuntimeBlock:
+    def test_block_shape_with_profiler_off(self):
+        block = runtime_block()
+        assert block["profiler_enabled"] == 0
+        assert block["wall_seconds"] > 0
+        assert block["max_rss_bytes"] == max_rss_bytes()
+        assert block["sections"] == {}
+        assert block["obs_overhead_fraction"] == 0.0
+
+    def test_block_top_n_sections(self):
+        try:
+            PROFILER.enable()
+            for name in ("a", "b", "c", "d", "e", "f", "g"):
+                with PROFILER.section(name):
+                    pass
+            block = runtime_block(top=5)
+        finally:
+            PROFILER.disable()
+        assert len(block["sections"]) == 5
+        assert block["profiler_enabled"] == 1
+
+    def test_max_rss_is_plausible(self):
+        rss = max_rss_bytes()
+        assert rss > 1 << 20            # a Python process exceeds 1 MiB
+
+    def test_render_wall_flame(self):
+        lines = render_wall_flame({
+            "memo.fingerprint": {"calls": 10, "wall_seconds": 0.1,
+                                 "mean_us": 10000.0},
+            "engine.pump": {"calls": 5, "wall_seconds": 0.05,
+                            "mean_us": 10000.0},
+        })
+        assert "memo.fingerprint" in lines[1]     # heaviest first
+        assert "engine.pump" in lines[2]
+
+    def test_render_wall_flame_empty(self):
+        assert "no profiled sections" in render_wall_flame({})[0]
+
+
+class TestTopPanel:
+    def test_panel_absent_without_runtime_data(self):
+        from repro.obs.slo import TopView, render_top
+
+        lines = render_top(TopView())
+        assert not any(line.startswith("runtime:") for line in lines)
+
+    def test_panel_renders_from_runtime_block(self):
+        from repro.obs.slo import TopView, render_top
+
+        view = TopView(runtime={
+            "total_wall_seconds": 1.5,
+            "max_rss_bytes": 64 << 20,
+            "obs_overhead_fraction": 0.03,
+            "sections": {"engine.pump": {"calls": 7,
+                                         "wall_seconds": 0.25}},
+        })
+        text = "\n".join(render_top(view))
+        assert "runtime: 1.50s wall" in text
+        assert "obs-overhead=3.0%" in text
+        assert "engine.pump" in text
+
+
+class TestStreamLifecycle:
+    def test_stream_to_returns_context_manager(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        tracer = Tracer(enabled=True)
+        with tracer.stream_to(str(path)):
+            tracer.event("cursor.move", cat="thread")
+        assert tracer.stream_path is None          # closed on exit
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events and events[0]["name"] == "cursor.move"
+
+    def test_stream_close_is_registered_atexit(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        assert not tracer._atexit_registered
+        tracer.stream_to(str(tmp_path / "t.jsonl"))
+        assert tracer._atexit_registered
+        tracer.close_stream()
+        # Registration is one-time; a second stream doesn't re-register.
+        tracer.stream_to(str(tmp_path / "u.jsonl"))
+        assert tracer._atexit_registered
+        tracer.close_stream()
+
+    def test_repoint_same_path_is_still_noop(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        tracer = Tracer(enabled=True)
+        tracer.stream_to(path)
+        tracer.event("a", cat="thread")
+        tracer.stream_to(path)                     # must not truncate
+        tracer.event("b", cat="thread")
+        tracer.close_stream()
+        with open(path, "r", encoding="utf-8") as fh:
+            assert len(fh.readlines()) == 2
+
+
+class TestBenchMeta:
+    def test_note_run_meta_always_records_wall_and_rss(self):
+        from benchmarks import common
+
+        common.note_run_meta(seed=99)
+        assert common._RUN_META["wall_seconds"] > 0
+        assert common._RUN_META["max_rss_bytes"] > 0
+        assert common._RUN_META["seed"] == 99
+
+    def test_runtime_cli_self_test(self, capsys):
+        from repro.obs.runtime import main
+
+        assert main(["self-test"]) == 0
+        assert "self-test OK" in capsys.readouterr().out
+
+    def test_runtime_cli_report_from_bench_file(self, tmp_path, capsys):
+        from repro.obs.runtime import main
+
+        bench = tmp_path / "BENCH_x.json"
+        bench.write_text(json.dumps({
+            "bench": "x",
+            "runtime": {"wall_seconds": 2.0, "max_rss_bytes": 1 << 20,
+                        "obs_overhead_fraction": 0.01,
+                        "sections": {"chunk.put": {"calls": 3,
+                                                   "wall_seconds": 0.5}}},
+        }))
+        assert main(["report", str(bench)]) == 0
+        out = capsys.readouterr().out
+        assert "runtime: 2.000s wall" in out
+        assert "chunk.put" in out
